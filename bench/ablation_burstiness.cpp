@@ -1,0 +1,60 @@
+// Ablation: workload burstiness. §A.4 attributes the Cello-vs-Financial1
+// response-time gap (~1 s vs ~300 ms) to interarrival burstiness. This
+// bench sweeps the MMPP burst multiplier at a fixed mean rate and shows how
+// interarrival CV drives mean response while the energy ranking stays put.
+#include <iostream>
+
+#include "common/experiment.hpp"
+#include "core/basic_schedulers.hpp"
+#include "core/cost_scheduler.hpp"
+#include "power/fixed_threshold.hpp"
+#include "trace/synthetic.hpp"
+#include "util/table.hpp"
+
+using namespace eas;
+
+int main() {
+  bench::ExperimentParams params;
+  params.replication_factor = 3;
+  params.num_requests = bench::requests_from_env(30000);
+  const auto placement = bench::make_placement(params);
+  const auto cfg = bench::paper_system_config();
+  std::cerr << "# burstiness sweep, " << bench::describe(params) << "\n";
+
+  std::cout << "=== Ablation: arrival burstiness (MMPP multiplier), rf=3 "
+               "===\n";
+  util::Table t({"multiplier", "interarrival_cv", "static_energy",
+                 "heuristic_energy", "static_resp_s", "heuristic_resp_s"});
+  for (double mult : {1.0, 3.0, 10.0, 30.0, 60.0, 100.0}) {
+    trace::SyntheticTraceConfig tc;
+    tc.num_requests = params.num_requests;
+    tc.num_data = 32768;
+    tc.mean_rate = 35.0;
+    tc.burst_rate_multiplier = mult;
+    tc.burst_time_fraction = mult > 1.0 ? 0.04 : 0.0;
+    tc.mean_burst_seconds = 2.0;
+    const auto trace = trace::make_synthetic_trace(tc);
+    const auto cv = trace.compute_stats().interarrival_cv;
+
+    core::StaticScheduler static_sched;
+    core::CostFunctionScheduler heur(params.cost);
+    power::FixedThresholdPolicy p1, p2;
+    const auto rs =
+        storage::run_online(cfg, placement, trace, static_sched, p1);
+    const auto rh = storage::run_online(cfg, placement, trace, heur, p2);
+    t.row()
+        .cell(mult, 0)
+        .cell(cv, 2)
+        .cell(rs.normalized_energy(cfg.power))
+        .cell(rh.normalized_energy(cfg.power))
+        .cell(rs.mean_response(), 4)
+        .cell(rh.mean_response(), 4);
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: response time rises steeply with CV "
+               "(queueing during bursts + spin-up tails); the heuristic's "
+               "energy advantage over Static persists at every burstiness "
+               "level — the Cello/Financial1 gap is a response-time story, "
+               "not an energy one.\n";
+  return 0;
+}

@@ -1,0 +1,136 @@
+#include "common/experiment.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "core/basic_schedulers.hpp"
+#include "util/check.hpp"
+#include "core/cost_scheduler.hpp"
+#include "core/mwis_scheduler.hpp"
+#include "core/wsc_scheduler.hpp"
+#include "power/fixed_threshold.hpp"
+#include "power/policy.hpp"
+#include "trace/synthetic.hpp"
+
+namespace eas::bench {
+
+const char* to_string(Workload w) {
+  return w == Workload::kCello ? "cello" : "financial1";
+}
+
+trace::Trace make_workload(Workload w, std::uint64_t seed,
+                           std::size_t num_requests) {
+  trace::SyntheticTraceConfig cfg = w == Workload::kCello
+                                        ? trace::cello_like_config(seed)
+                                        : trace::financial_like_config(seed);
+  cfg.num_requests = num_requests;
+  return trace::make_synthetic_trace(cfg);
+}
+
+placement::PlacementMap make_placement(const ExperimentParams& p) {
+  placement::ZipfPlacementConfig cfg;
+  cfg.num_disks = p.num_disks;
+  // The data universe must cover every id the workload references.
+  cfg.num_data = 32768;
+  cfg.replication_factor = p.replication_factor;
+  cfg.zipf_z = p.zipf_z;
+  cfg.seed = p.placement_seed;
+  return placement::make_zipf_placement(cfg);
+}
+
+storage::SystemConfig paper_system_config() {
+  storage::SystemConfig cfg;  // DiskPowerParams/DiskPerfParams defaults are
+                              // the Fig 5 values; see disk/params.hpp.
+  cfg.initial_state = disk::DiskState::Standby;
+  return cfg;
+}
+
+storage::RunResult run_always_on(const ExperimentParams& /*p*/,
+                                 const trace::Trace& trace,
+                                 const placement::PlacementMap& placement) {
+  return storage::run_always_on(paper_system_config(), placement, trace);
+}
+
+storage::RunResult run_random(const ExperimentParams& p,
+                              const trace::Trace& trace,
+                              const placement::PlacementMap& placement) {
+  core::RandomScheduler sched(p.trace_seed ^ 0x5eedULL);
+  power::FixedThresholdPolicy policy;
+  return storage::run_online(paper_system_config(), placement, trace, sched,
+                             policy);
+}
+
+storage::RunResult run_static(const ExperimentParams& /*p*/,
+                              const trace::Trace& trace,
+                              const placement::PlacementMap& placement) {
+  core::StaticScheduler sched;
+  power::FixedThresholdPolicy policy;
+  return storage::run_online(paper_system_config(), placement, trace, sched,
+                             policy);
+}
+
+storage::RunResult run_heuristic(const ExperimentParams& p,
+                                 const trace::Trace& trace,
+                                 const placement::PlacementMap& placement) {
+  core::CostFunctionScheduler sched(p.cost);
+  power::FixedThresholdPolicy policy;
+  return storage::run_online(paper_system_config(), placement, trace, sched,
+                             policy);
+}
+
+storage::RunResult run_wsc(const ExperimentParams& p,
+                           const trace::Trace& trace,
+                           const placement::PlacementMap& placement) {
+  core::WscBatchScheduler sched(p.batch_interval, p.cost);
+  power::FixedThresholdPolicy policy;
+  return storage::run_batch(paper_system_config(), placement, trace, sched,
+                            policy);
+}
+
+storage::RunResult run_mwis(const ExperimentParams& p,
+                            const trace::Trace& trace,
+                            const placement::PlacementMap& placement) {
+  core::MwisOptions opts;
+  opts.algorithm = core::MwisOptions::Algorithm::kGwmin;
+  opts.graph.successor_horizon = p.mwis_horizon;
+  opts.refine_passes = p.mwis_refine_passes;
+  core::MwisOfflineScheduler sched(opts);
+  const auto assignment =
+      sched.schedule(trace, placement, paper_system_config().power);
+  return storage::run_offline(paper_system_config(), placement, trace,
+                              assignment, sched.name());
+}
+
+storage::RunResult run_scheduler(const std::string& name,
+                                 const ExperimentParams& p,
+                                 const trace::Trace& trace,
+                                 const placement::PlacementMap& placement) {
+  if (name == "always-on") return run_always_on(p, trace, placement);
+  if (name == "random") return run_random(p, trace, placement);
+  if (name == "static") return run_static(p, trace, placement);
+  if (name == "heuristic") return run_heuristic(p, trace, placement);
+  if (name == "wsc") return run_wsc(p, trace, placement);
+  if (name == "mwis") return run_mwis(p, trace, placement);
+  EAS_CHECK_MSG(false, "unknown scheduler row: " << name);
+  return {};
+}
+
+std::size_t requests_from_env(std::size_t fallback) {
+  if (const char* env = std::getenv("EAS_REQUESTS")) {
+    const auto n = std::strtoull(env, nullptr, 10);
+    if (n > 0) return n;
+  }
+  return fallback;
+}
+
+std::string describe(const ExperimentParams& p) {
+  std::ostringstream os;
+  os << "workload=" << to_string(p.workload) << " requests="
+     << p.num_requests << " disks=" << p.num_disks
+     << " rf=" << p.replication_factor << " zipf_z=" << p.zipf_z
+     << " alpha=" << p.cost.alpha << " beta=" << p.cost.beta
+     << " batch=" << p.batch_interval << "s";
+  return os.str();
+}
+
+}  // namespace eas::bench

@@ -1,0 +1,85 @@
+// Shared experiment driver for the figure-reproduction benches.
+//
+// Encapsulates the paper's §4 setup: a 180-disk system, Cheetah/Barracuda
+// disk parameters, 2CPM power management, Zipf-original/uniform-replica
+// placement, 70k-request workloads, and the five §4.3 schedulers. Each
+// bench binary sweeps the parameter its figure varies and prints the same
+// series the figure plots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/energy_model.hpp"
+#include "placement/placement.hpp"
+#include "storage/storage_system.hpp"
+#include "trace/trace.hpp"
+
+namespace eas::bench {
+
+enum class Workload { kCello, kFinancial };
+const char* to_string(Workload w);
+
+/// One experiment configuration (defaults = the paper's primary setup).
+struct ExperimentParams {
+  Workload workload = Workload::kCello;
+  std::uint64_t trace_seed = 1;
+  std::size_t num_requests = 70000;  ///< §4.1
+
+  DiskId num_disks = 180;            ///< §4.2
+  unsigned replication_factor = 3;
+  double zipf_z = 1.0;               ///< original-location skew
+  std::uint64_t placement_seed = 42;
+
+  core::CostParams cost{};           ///< §4.3: alpha=0.2, beta=100
+  double batch_interval = 0.1;       ///< §4.3: 0.1 s WSC batching
+  std::size_t mwis_horizon = 4;      ///< conflict-graph successor horizon
+  std::size_t mwis_refine_passes = 8;
+};
+
+/// The calibrated synthetic stand-in for the named trace (see DESIGN.md §1).
+trace::Trace make_workload(Workload w, std::uint64_t seed,
+                           std::size_t num_requests = 70000);
+
+placement::PlacementMap make_placement(const ExperimentParams& p);
+
+/// §4: Cheetah 15K.5 service model + Barracuda power model, disks initially
+/// standby.
+storage::SystemConfig paper_system_config();
+
+// One runner per §4.3 scheduler row. All are deterministic in the params'
+// seeds. The trace/placement are passed in so sweeps reuse them.
+storage::RunResult run_always_on(const ExperimentParams& p,
+                                 const trace::Trace& trace,
+                                 const placement::PlacementMap& placement);
+storage::RunResult run_random(const ExperimentParams& p,
+                              const trace::Trace& trace,
+                              const placement::PlacementMap& placement);
+storage::RunResult run_static(const ExperimentParams& p,
+                              const trace::Trace& trace,
+                              const placement::PlacementMap& placement);
+storage::RunResult run_heuristic(const ExperimentParams& p,
+                                 const trace::Trace& trace,
+                                 const placement::PlacementMap& placement);
+storage::RunResult run_wsc(const ExperimentParams& p,
+                           const trace::Trace& trace,
+                           const placement::PlacementMap& placement);
+storage::RunResult run_mwis(const ExperimentParams& p,
+                            const trace::Trace& trace,
+                            const placement::PlacementMap& placement);
+
+/// Header line identifying an experiment (workload, fleet, seeds).
+std::string describe(const ExperimentParams& p);
+
+/// Dispatch by scheduler row name: "always-on", "random", "static",
+/// "heuristic", "wsc", "mwis". Throws InvariantError on unknown names.
+storage::RunResult run_scheduler(const std::string& name,
+                                 const ExperimentParams& p,
+                                 const trace::Trace& trace,
+                                 const placement::PlacementMap& placement);
+
+/// Number of requests honoured by the fig benches: the EAS_REQUESTS
+/// environment variable when set (for quick shape checks), else 70000.
+std::size_t requests_from_env(std::size_t fallback = 70000);
+
+}  // namespace eas::bench

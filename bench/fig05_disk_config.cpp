@@ -1,0 +1,35 @@
+// Fig 5: the disk model and 2CPM configuration used throughout the
+// evaluation (Seagate Cheetah 15K.5 performance + Barracuda power).
+#include <iostream>
+
+#include "common/experiment.hpp"
+#include "util/table.hpp"
+
+using namespace eas;
+
+int main() {
+  const auto cfg = bench::paper_system_config();
+  const auto& pw = cfg.power;
+  const auto& pf = cfg.perf;
+
+  std::cout << "=== Fig 5: 2CPM / disk configuration ===\n";
+  util::Table t({"parameter", "value", "unit"});
+  t.row().cell("idle power (P_I)").cell(pw.idle_watts, 1).cell("W");
+  t.row().cell("active power").cell(pw.active_watts, 1).cell("W");
+  t.row().cell("standby power").cell(pw.standby_watts, 1).cell("W");
+  t.row().cell("spin-up power").cell(pw.spinup_watts, 1).cell("W");
+  t.row().cell("spin-down power").cell(pw.spindown_watts, 1).cell("W");
+  t.row().cell("spin-up time (T_up)").cell(pw.spinup_seconds, 1).cell("s");
+  t.row().cell("spin-down time (T_down)").cell(pw.spindown_seconds, 1).cell("s");
+  t.row().cell("transition energy (E_up/down)").cell(pw.transition_energy(), 1).cell("J");
+  t.row().cell("breakeven time (T_B = E/P_I)").cell(pw.breakeven_seconds(), 1).cell("s");
+  t.row().cell("per-request energy ceiling").cell(pw.max_request_energy(), 1).cell("J");
+  t.row().cell("saving window (T_B+T_up+T_down)").cell(pw.saving_window_seconds(), 1).cell("s");
+  t.row().cell("avg seek").cell(pf.avg_seek_seconds * 1e3, 2).cell("ms");
+  t.row().cell("rotational speed").cell(pf.rpm, 0).cell("RPM");
+  t.row().cell("avg rotational latency").cell(pf.avg_rotational_latency_seconds() * 1e3, 2).cell("ms");
+  t.row().cell("sustained transfer rate").cell(pf.transfer_mb_per_sec, 0).cell("MB/s");
+  t.row().cell("512 KB block service time").cell(pf.service_seconds(512 * 1024) * 1e3, 2).cell("ms");
+  t.print(std::cout);
+  return 0;
+}

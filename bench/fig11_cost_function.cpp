@@ -1,0 +1,78 @@
+// Fig 11 (Appendix A.2): the energy / response-time trade-off of the online
+// heuristic's cost function across alpha in [0,1] and beta in {1,10,100,
+// 500,1000}, rf=3, Cello, normalized to the alpha=0 (pure-performance) run
+// per beta. Paper shape: energy falls >35% as alpha -> 1 while response
+// rises ~2x; larger beta shifts both curves toward the alpha=0 behaviour;
+// (alpha=0.2, beta=100) sits near the knee.
+#include <iostream>
+
+#include "common/experiment.hpp"
+#include "util/table.hpp"
+
+using namespace eas;
+
+int main() {
+  bench::ExperimentParams base;
+  base.workload = bench::Workload::kCello;
+  base.num_requests = bench::requests_from_env();
+  base.replication_factor = 3;
+  const auto trace =
+      bench::make_workload(base.workload, base.trace_seed, base.num_requests);
+  const auto placement = bench::make_placement(base);
+  std::cerr << "# " << bench::describe(base) << "\n";
+
+  const double alphas[] = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  const double betas[] = {1.0, 10.0, 100.0, 500.0, 1000.0};
+
+  struct Cell {
+    double energy, response;
+  };
+  std::vector<std::vector<Cell>> grid(std::size(betas));
+  for (std::size_t b = 0; b < std::size(betas); ++b) {
+    for (double alpha : alphas) {
+      bench::ExperimentParams p = base;
+      p.cost.alpha = alpha;
+      p.cost.beta = betas[b];
+      const auto r = bench::run_heuristic(p, trace, placement);
+      grid[b].push_back(Cell{r.total_energy(), r.mean_response()});
+    }
+  }
+
+  std::cout << "=== Fig 11a: heuristic energy vs alpha (normalized to "
+               "alpha=0), rf=3 (Cello) ===\n";
+  {
+    std::vector<std::string> header{"beta"};
+    for (double a : alphas) header.push_back("a=" + std::to_string(a).substr(0, 3));
+    util::Table t(header);
+    for (std::size_t b = 0; b < std::size(betas); ++b) {
+      t.row().cell(static_cast<long long>(betas[b]));
+      for (std::size_t a = 0; a < std::size(alphas); ++a) {
+        t.cell(grid[b][a].energy / grid[b][0].energy);
+      }
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n=== Fig 11b: heuristic mean response vs alpha (normalized "
+               "to alpha=0), rf=3 (Cello) ===\n";
+  {
+    std::vector<std::string> header{"beta"};
+    for (double a : alphas) header.push_back("a=" + std::to_string(a).substr(0, 3));
+    util::Table t(header);
+    for (std::size_t b = 0; b < std::size(betas); ++b) {
+      t.row().cell(static_cast<long long>(betas[b]));
+      for (std::size_t a = 0; a < std::size(alphas); ++a) {
+        t.cell(grid[b][a].response / grid[b][0].response);
+      }
+    }
+    t.print(std::cout);
+  }
+
+  // The unnormalized cost at the paper's chosen operating point, for
+  // EXPERIMENTS.md.
+  std::cout << "\npaper operating point (alpha=0.2, beta=100): energy="
+            << grid[2][1].energy / grid[2][0].energy
+            << "x, response=" << grid[2][1].response / grid[2][0].response
+            << "x of alpha=0\n";
+  return 0;
+}

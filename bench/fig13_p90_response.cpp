@@ -1,0 +1,42 @@
+// Fig 13 (Appendix A.3): 90th-percentile response time vs replication
+// factor, Cello. Paper shape: always-on and MWIS sit at the ~10 ms disk
+// service floor; Heuristic starts elevated at rf=1 and drops to the floor
+// once replicas exist; WSC stays highest (~0.1 s) because of the batching
+// interval.
+#include <iostream>
+#include <map>
+
+#include "fig_sweep_common.hpp"
+#include "util/table.hpp"
+
+using namespace eas;
+
+int main() {
+  std::map<unsigned, std::map<std::string, double>> cells;
+  bench::sweep_replication(
+      bench::Workload::kCello,
+      {"static", "always-on", "random", "heuristic", "wsc", "mwis"},
+      [&](const bench::SweepRow& row) {
+        cells[row.rf][row.scheduler] =
+            row.result.response_times.empty()
+                ? 0.0
+                : row.result.response_times.p90() * 1e3;
+      });
+
+  std::cout << "=== Fig 13: p90 response time (ms) vs replication factor "
+               "(Cello) ===\n";
+  util::Table t({"rf", "always-on", "random", "static", "heuristic", "wsc",
+                 "mwis"});
+  for (auto& [rf, by_sched] : cells) {
+    t.row()
+        .cell(static_cast<int>(rf))
+        .cell(by_sched["always-on"], 1)
+        .cell(by_sched["random"], 1)
+        .cell(by_sched["static"], 1)
+        .cell(by_sched["heuristic"], 1)
+        .cell(by_sched["wsc"], 1)
+        .cell(by_sched["mwis"], 1);
+  }
+  t.print(std::cout);
+  return 0;
+}

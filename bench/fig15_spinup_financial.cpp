@@ -1,0 +1,39 @@
+// Fig 15 (Appendix A.4): spin-up/down operations vs replication factor,
+// Financial1, normalized to Static. Paper: same shape as Fig 7.
+#include <iostream>
+#include <map>
+
+#include "fig_sweep_common.hpp"
+#include "util/table.hpp"
+
+using namespace eas;
+
+int main() {
+  std::map<unsigned, std::map<std::string, double>> cells;
+  bench::sweep_replication(
+      bench::Workload::kFinancial,
+      {"static", "random", "heuristic", "wsc", "mwis"},
+      [&](const bench::SweepRow& row) {
+        const double ops = static_cast<double>(row.result.total_spin_ups() +
+                                               row.result.total_spin_downs());
+        const double ref =
+            static_cast<double>(row.static_ref->total_spin_ups() +
+                                row.static_ref->total_spin_downs());
+        cells[row.rf][row.scheduler] = ref > 0.0 ? ops / ref : 0.0;
+      });
+
+  std::cout << "=== Fig 15: spin-up/down ops vs replication factor, "
+               "normalized to Static (Financial1) ===\n";
+  util::Table t({"rf", "random", "static", "heuristic", "wsc", "mwis"});
+  for (auto& [rf, by_sched] : cells) {
+    t.row()
+        .cell(static_cast<int>(rf))
+        .cell(by_sched["random"])
+        .cell(by_sched["static"])
+        .cell(by_sched["heuristic"])
+        .cell(by_sched["wsc"])
+        .cell(by_sched["mwis"]);
+  }
+  t.print(std::cout);
+  return 0;
+}

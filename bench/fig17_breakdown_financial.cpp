@@ -1,0 +1,11 @@
+// Fig 17 (Appendix A.4): per-disk state-time breakdown, rf=3, Financial1.
+// Paper: same qualitative picture as Fig 9.
+#include "fig_breakdown_common.hpp"
+
+int main() {
+  std::cout << "=== Fig 17: per-disk state-time breakdown, rf=3 "
+               "(Financial1) ===\n";
+  eas::bench::print_breakdown(eas::bench::Workload::kFinancial,
+                              {"random", "static", "wsc", "mwis"});
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Shared per-disk state-time breakdown (Fig 9 / Fig 17): for each scheduler
+// at rf=3, report the percentage of time every disk spends in standby /
+// idle / active / spin-up+down, disks sorted by standby share descending —
+// exactly the series those figures plot, condensed to every Nth disk plus
+// fleet aggregates.
+#pragma once
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/experiment.hpp"
+#include "util/table.hpp"
+
+namespace eas::bench {
+
+inline void print_breakdown(Workload workload,
+                            const std::vector<std::string>& schedulers) {
+  ExperimentParams params;
+  params.workload = workload;
+  params.num_requests = requests_from_env();
+  params.replication_factor = 3;
+  const auto trace =
+      make_workload(workload, params.trace_seed, params.num_requests);
+  const auto placement = make_placement(params);
+  std::cerr << "# " << describe(params) << "\n";
+
+  for (const auto& name : schedulers) {
+    const auto result = run_scheduler(name, params, trace, placement);
+
+    struct Row {
+      double standby, idle, active, spin;
+    };
+    std::vector<Row> rows;
+    rows.reserve(result.disk_stats.size());
+    for (const auto& ds : result.disk_stats) {
+      const double total = ds.total_seconds();
+      if (total <= 0.0) continue;
+      rows.push_back(Row{
+          100.0 * ds.seconds(disk::DiskState::Standby) / total,
+          100.0 * ds.seconds(disk::DiskState::Idle) / total,
+          100.0 * ds.seconds(disk::DiskState::Active) / total,
+          100.0 *
+              (ds.seconds(disk::DiskState::SpinningUp) +
+               ds.seconds(disk::DiskState::SpinningDown)) /
+              total,
+      });
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.standby > b.standby; });
+
+    std::cout << "--- scheduler: " << name << " (disks sorted by standby "
+              << "share, every 15th of " << rows.size() << ") ---\n";
+    util::Table t({"disk_rank", "standby%", "idle%", "active%", "spin%"});
+    for (std::size_t i = 0; i < rows.size(); i += 15) {
+      t.row()
+          .cell(i)
+          .cell(rows[i].standby, 1)
+          .cell(rows[i].idle, 1)
+          .cell(rows[i].active, 2)
+          .cell(rows[i].spin, 1);
+    }
+    Row mean{0, 0, 0, 0};
+    std::size_t above_half = 0;
+    for (const auto& r : rows) {
+      mean.standby += r.standby;
+      mean.idle += r.idle;
+      mean.active += r.active;
+      mean.spin += r.spin;
+      if (r.standby > 50.0) ++above_half;
+    }
+    const auto n = static_cast<double>(rows.size());
+    t.row()
+        .cell(std::string("fleet-mean"))
+        .cell(mean.standby / n, 1)
+        .cell(mean.idle / n, 1)
+        .cell(mean.active / n, 2)
+        .cell(mean.spin / n, 1);
+    t.print(std::cout);
+    std::cout << "disks >50% standby: " << above_half << " / " << rows.size()
+              << "\n\n";
+  }
+}
+
+}  // namespace eas::bench

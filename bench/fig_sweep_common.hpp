@@ -1,0 +1,51 @@
+// Shared replication-factor sweep used by the Fig 6/7/8/13 (Cello) and
+// Fig 14/15/16 (Financial1) benches: run the §4.3 scheduler roster at
+// rf = 1..5 over one workload and hand each result to a row callback.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/experiment.hpp"
+
+namespace eas::bench {
+
+struct SweepRow {
+  unsigned rf;
+  std::string scheduler;
+  storage::RunResult result;
+  /// The Static run at the same rf (already computed), for normalisation.
+  const storage::RunResult* static_ref;
+};
+
+/// Runs `schedulers` (row names) for rf 1..5 and invokes `consume` per run.
+/// The "static" row is always run (first) so it can serve as reference.
+inline void sweep_replication(Workload workload,
+                              const std::vector<std::string>& schedulers,
+                              const std::function<void(const SweepRow&)>& consume) {
+  ExperimentParams params;
+  params.workload = workload;
+  params.num_requests = requests_from_env();
+  const auto trace =
+      make_workload(workload, params.trace_seed, params.num_requests);
+  std::cerr << "# " << describe(params) << "\n";
+
+  for (unsigned rf = 1; rf <= 5; ++rf) {
+    ExperimentParams p = params;
+    p.replication_factor = rf;
+    const auto placement = make_placement(p);
+    const auto static_run = run_static(p, trace, placement);
+    for (const auto& name : schedulers) {
+      if (name == "static") {
+        consume(SweepRow{rf, name, static_run, &static_run});
+        continue;
+      }
+      consume(SweepRow{rf, name, run_scheduler(name, p, trace, placement),
+                       &static_run});
+    }
+  }
+}
+
+}  // namespace eas::bench

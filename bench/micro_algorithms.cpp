@@ -1,0 +1,118 @@
+// Micro-benchmarks: combinatorial kernels (set cover, GWMIN, conflict-graph
+// construction, Zipf sampling).
+#include <benchmark/benchmark.h>
+
+#include "core/conflict_graph.hpp"
+#include "graph/mwis.hpp"
+#include "graph/set_cover.hpp"
+#include "placement/placement.hpp"
+#include "trace/synthetic.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+using namespace eas;
+
+namespace {
+
+graph::SetCoverInstance random_cover(std::size_t elements, std::size_t sets,
+                                     double density, std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::SetCoverInstance inst;
+  inst.num_elements = elements;
+  inst.sets.resize(sets);
+  for (auto& s : inst.sets) {
+    s.weight = rng.uniform(0.5, 10.0);
+    for (std::size_t e = 0; e < elements; ++e) {
+      if (rng.bernoulli(density)) s.elements.push_back(e);
+    }
+  }
+  // One universal set guarantees feasibility.
+  inst.sets.push_back({100.0, {}});
+  for (std::size_t e = 0; e < elements; ++e) {
+    inst.sets.back().elements.push_back(e);
+  }
+  return inst;
+}
+
+void BM_GreedySetCover(benchmark::State& state) {
+  const auto inst = random_cover(static_cast<std::size_t>(state.range(0)),
+                                 static_cast<std::size_t>(state.range(0)) / 2,
+                                 0.05, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::greedy_weighted_set_cover(inst));
+  }
+}
+BENCHMARK(BM_GreedySetCover)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_GwminExplicit(benchmark::State& state) {
+  util::Rng rng(7);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> weights;
+  for (std::size_t v = 0; v < n; ++v) weights.push_back(rng.uniform(1, 10));
+  graph::WeightedGraph g(std::move(weights));
+  const double density = 8.0 / static_cast<double>(n);  // avg degree ~8
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(density)) g.add_edge(u, v);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::gwmin(g));
+  }
+}
+BENCHMARK(BM_GwminExplicit)->Arg(256)->Arg(1024);
+
+void BM_ConflictGraphBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  trace::SyntheticTraceConfig tc;
+  tc.num_requests = n;
+  tc.num_data = static_cast<DataId>(n / 2);
+  tc.mean_rate = 35.0;
+  const auto t = trace::make_synthetic_trace(tc);
+  placement::ZipfPlacementConfig pc;
+  pc.num_disks = 60;
+  pc.num_data = static_cast<DataId>(n / 2);
+  pc.replication_factor = 3;
+  const auto placement = placement::make_zipf_placement(pc);
+  const disk::DiskPowerParams power;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::build_conflict_graph(t, placement, power, {}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ConflictGraphBuild)->Arg(2000)->Arg(10000);
+
+void BM_SolveGwminConflict(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  trace::SyntheticTraceConfig tc;
+  tc.num_requests = n;
+  tc.num_data = static_cast<DataId>(n / 2);
+  tc.mean_rate = 35.0;
+  const auto t = trace::make_synthetic_trace(tc);
+  placement::ZipfPlacementConfig pc;
+  pc.num_disks = 60;
+  pc.num_data = static_cast<DataId>(n / 2);
+  pc.replication_factor = 3;
+  const auto placement = placement::make_zipf_placement(pc);
+  const auto g =
+      core::build_conflict_graph(t, placement, disk::DiskPowerParams{}, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_gwmin(g));
+  }
+}
+BENCHMARK(BM_SolveGwminConflict)->Arg(2000)->Arg(10000);
+
+void BM_ZipfSample(benchmark::State& state) {
+  util::ZipfSampler zipf(static_cast<std::size_t>(state.range(0)), 0.9);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(180)->Arg(32768);
+
+}  // namespace
+
+BENCHMARK_MAIN();

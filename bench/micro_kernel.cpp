@@ -1,0 +1,86 @@
+// Micro-benchmarks: event kernel and disk entity hot paths.
+#include <benchmark/benchmark.h>
+
+#include "disk/disk.hpp"
+#include "sim/simulator.hpp"
+
+using namespace eas;
+
+namespace {
+
+void BM_ScheduleAndFire(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (std::size_t i = 0; i < batch; ++i) {
+      sim.schedule_at(static_cast<double>(i % 64), [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ScheduleAndFire)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_ScheduleCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(4096);
+    for (int i = 0; i < 4096; ++i) {
+      handles.push_back(sim.schedule_at(1.0 + i, [] {}));
+    }
+    for (auto& h : handles) sim.cancel(h);
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_ScheduleCancel);
+
+void BM_DiskServiceLoop(benchmark::State& state) {
+  // Submit-serve-complete cycles on one idle disk (no power transitions).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    disk::Disk d(0, sim, disk::DiskPowerParams{}, disk::DiskPerfParams{},
+                 disk::DiskState::Idle);
+    for (std::size_t i = 0; i < n; ++i) {
+      disk::Request r;
+      r.id = i;
+      r.data = 0;
+      d.submit(r);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(d.stats().requests_served);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DiskServiceLoop)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_DiskSpinCycle(benchmark::State& state) {
+  // Full standby -> spin-up -> serve -> idle -> spin-down cycles.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    disk::Disk d(0, sim, disk::DiskPowerParams{}, disk::DiskPerfParams{},
+                 disk::DiskState::Standby);
+    for (int i = 0; i < 64; ++i) {
+      sim.schedule_at(100.0 * i, [&d, i] {
+        disk::Request r;
+        r.id = static_cast<RequestId>(i);
+        d.submit(r);
+      });
+      sim.schedule_at(100.0 * i + 50.0, [&d] {
+        if (d.state() == disk::DiskState::Idle) d.spin_down();
+      });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(d.stats().spin_ups);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_DiskSpinCycle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Micro-benchmarks: per-request scheduling decision latency. The online
+// heuristic must be cheap enough to sit on the I/O dispatch path.
+#include <benchmark/benchmark.h>
+
+#include "core/basic_schedulers.hpp"
+#include "core/cost_scheduler.hpp"
+#include "core/wsc_scheduler.hpp"
+#include "placement/placement.hpp"
+#include "util/rng.hpp"
+
+using namespace eas;
+
+namespace {
+
+/// Static view with synthetic per-disk snapshots for decision benchmarks.
+class BenchView final : public core::SystemView {
+ public:
+  BenchView(placement::PlacementMap placement, std::uint64_t seed)
+      : placement_(std::move(placement)) {
+    util::Rng rng(seed);
+    snapshots_.resize(placement_.num_disks());
+    for (auto& s : snapshots_) {
+      s.state = static_cast<disk::DiskState>(rng.next_below(5));
+      if (s.state == disk::DiskState::SpinningUp ||
+          s.state == disk::DiskState::SpinningDown) {
+        s.state = disk::DiskState::Idle;
+      }
+      s.last_request_time = rng.uniform(0.0, 100.0);
+      s.queued_requests = static_cast<std::size_t>(rng.next_below(8));
+    }
+  }
+  double now() const override { return 100.0; }
+  const placement::PlacementMap& placement() const override {
+    return placement_;
+  }
+  core::DiskSnapshot snapshot(DiskId k) const override {
+    return snapshots_[k];
+  }
+  const disk::DiskPowerParams& power_params() const override { return power_; }
+
+ private:
+  placement::PlacementMap placement_;
+  std::vector<core::DiskSnapshot> snapshots_;
+  disk::DiskPowerParams power_;
+};
+
+placement::PlacementMap bench_placement() {
+  placement::ZipfPlacementConfig cfg;
+  cfg.num_disks = 180;
+  cfg.num_data = 32768;
+  cfg.replication_factor = 3;
+  return placement::make_zipf_placement(cfg);
+}
+
+template <typename Scheduler>
+void run_pick(benchmark::State& state, Scheduler& sched) {
+  const BenchView view(bench_placement(), 3);
+  util::Rng rng(9);
+  for (auto _ : state) {
+    disk::Request r;
+    r.data = static_cast<DataId>(rng.next_below(32768));
+    benchmark::DoNotOptimize(sched.pick(r, view));
+  }
+}
+
+void BM_PickStatic(benchmark::State& state) {
+  core::StaticScheduler sched;
+  run_pick(state, sched);
+}
+BENCHMARK(BM_PickStatic);
+
+void BM_PickRandom(benchmark::State& state) {
+  core::RandomScheduler sched(1);
+  run_pick(state, sched);
+}
+BENCHMARK(BM_PickRandom);
+
+void BM_PickHeuristic(benchmark::State& state) {
+  core::CostFunctionScheduler sched;
+  run_pick(state, sched);
+}
+BENCHMARK(BM_PickHeuristic);
+
+void BM_WscAssignBatch(benchmark::State& state) {
+  const BenchView view(bench_placement(), 3);
+  core::WscBatchScheduler sched(0.1);
+  util::Rng rng(11);
+  const auto batch_size = static_cast<std::size_t>(state.range(0));
+  std::vector<disk::Request> batch;
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    disk::Request r;
+    r.id = i;
+    r.data = static_cast<DataId>(rng.next_below(32768));
+    batch.push_back(r);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.assign(batch, view));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch_size));
+}
+BENCHMARK(BM_WscAssignBatch)->Arg(4)->Arg(32)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// One-off probe: MWIS solver/refinement variants on one configuration.
+// Usage: zz_probe_mwis [cello|financial] [num_requests] [rf]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/experiment.hpp"
+#include "core/mwis_scheduler.hpp"
+#include "core/offline_eval.hpp"
+#include "storage/storage_system.hpp"
+
+using namespace eas;
+
+int main(int argc, char** argv) {
+  bench::ExperimentParams p;
+  if (argc > 1 && std::string(argv[1]) == "financial") {
+    p.workload = bench::Workload::kFinancial;
+  }
+  p.num_requests = 5000;  // quick by default
+  if (argc > 2) p.num_requests = std::strtoull(argv[2], nullptr, 10);
+  if (argc > 3) p.replication_factor = std::atoi(argv[3]);
+
+  const auto trace = bench::make_workload(p.workload, p.trace_seed, p.num_requests);
+  const auto placement = bench::make_placement(p);
+  const auto power = bench::paper_system_config().power;
+
+  for (auto alg : {core::MwisOptions::Algorithm::kGwmin,
+                   core::MwisOptions::Algorithm::kGwmin2}) {
+    for (std::size_t passes : {0u, 3u, 8u, 16u}) {
+      for (std::size_t horizon : {1u, 2u, 4u}) {
+        core::MwisOptions opts;
+        opts.seed = core::MwisOptions::Seed::kSolverOnly;  // probe the solver itself
+        opts.algorithm = alg;
+        opts.refine_passes = passes;
+        opts.graph.successor_horizon = horizon;
+        core::MwisOfflineScheduler sched(opts);
+        auto assignment = sched.schedule(trace, placement, power);
+        const auto r = storage::run_offline(bench::paper_system_config(),
+                                            placement, trace, assignment,
+                                            sched.name());
+        std::cout << sched.name() << " passes=" << passes
+                  << " norm_energy=" << r.normalized_energy(power)
+                  << " spin=" << r.total_spin_ups() + r.total_spin_downs()
+                  << "\n";
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "core/basic_schedulers.hpp"
+
+namespace eas::core {
+
+DiskId StaticScheduler::pick(const disk::Request& r, const SystemView& view) {
+  return view.placement().original(r.data);
+}
+
+OfflineAssignment StaticScheduler::schedule(
+    const trace::Trace& trace, const placement::PlacementMap& placement,
+    const disk::DiskPowerParams& /*power*/) {
+  OfflineAssignment a;
+  a.disk_of_request.reserve(trace.size());
+  for (const auto& rec : trace.records()) {
+    a.disk_of_request.push_back(placement.original(rec.data));
+  }
+  return a;
+}
+
+DiskId RandomScheduler::pick(const disk::Request& r, const SystemView& view) {
+  const auto& locs = view.placement().locations(r.data);
+  return locs[rng_.next_below(locs.size())];
+}
+
+OfflineAssignment RandomScheduler::schedule(
+    const trace::Trace& trace, const placement::PlacementMap& placement,
+    const disk::DiskPowerParams& /*power*/) {
+  OfflineAssignment a;
+  a.disk_of_request.reserve(trace.size());
+  for (const auto& rec : trace.records()) {
+    const auto& locs = placement.locations(rec.data);
+    a.disk_of_request.push_back(locs[rng_.next_below(locs.size())]);
+  }
+  return a;
+}
+
+}  // namespace eas::core

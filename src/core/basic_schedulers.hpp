@@ -1,0 +1,43 @@
+// The two energy-oblivious baselines of §4.3.
+//
+//  * StaticScheduler — always sends a request to the original data location.
+//  * RandomScheduler — sends a request to a uniformly random replica.
+//
+// Both are also offered as OfflineSchedulers (they ignore future knowledge)
+// so that the offline evaluator and the MWIS schedule can be compared on an
+// identical execution path.
+#pragma once
+
+#include "core/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace eas::core {
+
+class StaticScheduler final : public OnlineScheduler, public OfflineScheduler {
+ public:
+  std::string name() const override { return "static"; }
+
+  DiskId pick(const disk::Request& r, const SystemView& view) override;
+
+  OfflineAssignment schedule(const trace::Trace& trace,
+                             const placement::PlacementMap& placement,
+                             const disk::DiskPowerParams& power) override;
+};
+
+class RandomScheduler final : public OnlineScheduler, public OfflineScheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed = 7) : rng_(seed) {}
+
+  std::string name() const override { return "random"; }
+
+  DiskId pick(const disk::Request& r, const SystemView& view) override;
+
+  OfflineAssignment schedule(const trace::Trace& trace,
+                             const placement::PlacementMap& placement,
+                             const disk::DiskPowerParams& power) override;
+
+ private:
+  util::Rng rng_;
+};
+
+}  // namespace eas::core

@@ -1,0 +1,194 @@
+#include "core/conflict_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/energy_model.hpp"
+#include "util/check.hpp"
+
+namespace eas::core {
+
+double ConflictGraph::selection_weight(
+    const std::vector<std::uint32_t>& selected) const {
+  std::vector<bool> in(nodes.size(), false);
+  double total = 0.0;
+  for (std::uint32_t v : selected) {
+    EAS_CHECK_MSG(v < nodes.size(), "selected node out of range");
+    EAS_CHECK_MSG(!in[v], "node " << v << " selected twice");
+    in[v] = true;
+    total += nodes[v].weight;
+  }
+  for (std::uint32_t v : selected) {
+    for (std::uint32_t u : neighbors(v)) {
+      EAS_CHECK_MSG(!in[u], "selection is not independent: " << v << " ~ " << u);
+    }
+  }
+  return total;
+}
+
+graph::WeightedGraph ConflictGraph::to_weighted_graph() const {
+  std::vector<double> weights;
+  weights.reserve(nodes.size());
+  for (const auto& n : nodes) weights.push_back(n.weight);
+  graph::WeightedGraph g(std::move(weights));
+  for (std::uint32_t v = 0; v < nodes.size(); ++v) {
+    for (std::uint32_t u : neighbors(v)) {
+      if (v < u) g.add_edge(v, u);
+    }
+  }
+  return g;
+}
+
+namespace {
+
+/// Invokes `fn(u, v)` exactly once per conflicting node pair. Conflicts are
+/// found through per-request buckets; a pair sharing *both* endpoints (the
+/// same (i,j) on two disks) appears in two buckets and is emitted only from
+/// bucket i, so no hashed dedup is needed.
+template <typename Fn>
+void for_each_conflict(const ConflictGraph& g,
+                       const std::vector<std::vector<std::uint32_t>>& bucket,
+                       Fn fn) {
+  for (std::uint32_t r = 0; r < bucket.size(); ++r) {
+    const auto& members = bucket[r];
+    for (std::size_t a = 0; a < members.size(); ++a) {
+      const SavingNode& u = g.nodes[members[a]];
+      for (std::size_t b = a + 1; b < members.size(); ++b) {
+        const SavingNode& v = g.nodes[members[b]];
+        if (u.i != v.i && u.k == v.k) continue;  // compatible
+        if (u.i == v.i && u.j == v.j && u.j == r) continue;  // seen at bucket i
+        fn(members[a], members[b]);
+      }
+    }
+  }
+}
+
+std::vector<std::vector<std::uint32_t>> build_buckets(const ConflictGraph& g,
+                                                      std::size_t num_requests) {
+  std::vector<std::vector<std::uint32_t>> bucket(num_requests);
+  for (std::uint32_t v = 0; v < g.nodes.size(); ++v) {
+    bucket[g.nodes[v].i].push_back(v);
+    bucket[g.nodes[v].j].push_back(v);
+  }
+  return bucket;
+}
+
+}  // namespace
+
+ConflictGraph build_conflict_graph(const trace::Trace& trace,
+                                   const placement::PlacementMap& placement,
+                                   const disk::DiskPowerParams& power,
+                                   const ConflictGraphOptions& options) {
+  EAS_CHECK_MSG(options.successor_horizon >= 1, "horizon must be >= 1");
+  ConflictGraph g;
+
+  // Per-disk time-ordered lists of requests whose data lives there.
+  std::vector<std::vector<std::uint32_t>> on_disk(placement.num_disks());
+  for (std::uint32_t i = 0; i < trace.size(); ++i) {
+    for (DiskId k : placement.locations(trace[i].data)) {
+      on_disk[k].push_back(i);  // trace is time-sorted, so lists are too
+    }
+  }
+
+  // Step 1: nodes for every in-window candidate pair within the horizon.
+  const double window = power.saving_window_seconds();
+  for (DiskId k = 0; k < placement.num_disks(); ++k) {
+    const auto& list = on_disk[k];
+    for (std::size_t p = 0; p < list.size(); ++p) {
+      const std::uint32_t i = list[p];
+      for (std::size_t h = 1;
+           h <= options.successor_horizon && p + h < list.size(); ++h) {
+        const std::uint32_t j = list[p + h];
+        const double dt = trace[j].time - trace[i].time;
+        if (dt >= window) break;  // later candidates are even farther
+        const double w =
+            pairwise_energy_saving(trace[i].time, trace[j].time, power);
+        if (w > 0.0) g.nodes.push_back(SavingNode{i, j, k, w});
+      }
+    }
+  }
+
+  // Step 2: CSR adjacency in two passes over the conflict pairs — count
+  // degrees, then place. Each conflicting pair is visited exactly once.
+  const auto bucket = build_buckets(g, trace.size());
+  g.adj_offsets.assign(g.nodes.size() + 1, 0);
+  for_each_conflict(g, bucket, [&](std::uint32_t u, std::uint32_t v) {
+    ++g.adj_offsets[u + 1];
+    ++g.adj_offsets[v + 1];
+  });
+  for (std::size_t v = 0; v < g.nodes.size(); ++v) {
+    g.adj_offsets[v + 1] += g.adj_offsets[v];
+  }
+  g.adj_data.resize(g.adj_offsets.back());
+  std::vector<std::size_t> cursor(g.adj_offsets.begin(),
+                                  g.adj_offsets.end() - 1);
+  for_each_conflict(g, bucket, [&](std::uint32_t u, std::uint32_t v) {
+    g.adj_data[cursor[u]++] = v;
+    g.adj_data[cursor[v]++] = u;
+  });
+  return g;
+}
+
+std::vector<std::uint32_t> solve_gwmin(const ConflictGraph& g,
+                                       bool use_gwmin2) {
+  const std::size_t n = g.size();
+  std::vector<bool> alive(n, true);
+  std::vector<std::uint32_t> degree(n);
+  std::vector<double> nbr_weight;
+  if (use_gwmin2) nbr_weight.assign(n, 0.0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    degree[v] = static_cast<std::uint32_t>(g.degree(v));
+    if (use_gwmin2) {
+      for (std::uint32_t u : g.neighbors(v)) nbr_weight[v] += g.nodes[u].weight;
+    }
+  }
+
+  auto score = [&](std::uint32_t v) {
+    if (use_gwmin2) {
+      const double denom = g.nodes[v].weight + nbr_weight[v];
+      return denom == 0.0 ? 1.0 : g.nodes[v].weight / denom;
+    }
+    return g.nodes[v].weight / static_cast<double>(degree[v] + 1);
+  };
+
+  // Lazy max-heap: scores only grow as neighbours die, and every growth
+  // pushes a fresh entry, so an alive node popped from the top always
+  // carries its current (maximal) score.
+  using Entry = std::pair<double, std::uint32_t>;
+  std::priority_queue<Entry> heap;
+  for (std::uint32_t v = 0; v < n; ++v) heap.emplace(score(v), v);
+
+  std::vector<std::uint32_t> selected;
+  std::vector<std::uint32_t> doomed;
+  while (!heap.empty()) {
+    const auto [s, v] = heap.top();
+    heap.pop();
+    if (!alive[v]) continue;
+    selected.push_back(v);
+
+    // Remove the closed neighbourhood N[v] in two phases: mark everything
+    // dead first so that survivor updates are only pushed for nodes that
+    // actually remain in the graph.
+    doomed.clear();
+    doomed.push_back(v);
+    alive[v] = false;
+    for (std::uint32_t u : g.neighbors(v)) {
+      if (alive[u]) {
+        alive[u] = false;
+        doomed.push_back(u);
+      }
+    }
+    for (std::uint32_t u : doomed) {
+      for (std::uint32_t w : g.neighbors(u)) {
+        if (!alive[w]) continue;
+        --degree[w];
+        if (use_gwmin2) nbr_weight[w] -= g.nodes[u].weight;
+        heap.emplace(score(w), w);
+      }
+    }
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+}  // namespace eas::core

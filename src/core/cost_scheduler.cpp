@@ -1,0 +1,41 @@
+#include "core/cost_scheduler.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace eas::core {
+
+std::string CostFunctionScheduler::name() const {
+  std::ostringstream os;
+  os << "heuristic(a=" << params_.alpha << ",b=" << params_.beta << ")";
+  return os.str();
+}
+
+DiskId CostFunctionScheduler::pick(const disk::Request& r,
+                                   const SystemView& view) {
+  const auto& locs = view.placement().locations(r.data);
+  EAS_DCHECK(!locs.empty());
+  double best_cost = std::numeric_limits<double>::infinity();
+  bool best_sleeping = true;
+  DiskId best = locs.front();
+  for (DiskId k : locs) {
+    const auto snap = view.snapshot(k);
+    const double c =
+        composite_cost(snap, view.now(), view.power_params(), params_);
+    const bool sleeping = snap.state == disk::DiskState::Standby ||
+                          snap.state == disk::DiskState::SpinningDown;
+    // Lexicographic (cost, sleeping?, replica order): equal-cost ties go to
+    // a spinning disk — same joules, but no multi-second wake delay — and
+    // then to the earliest replica for reproducibility.
+    if (c < best_cost || (c == best_cost && best_sleeping && !sleeping)) {
+      best_cost = c;
+      best_sleeping = sleeping;
+      best = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace eas::core

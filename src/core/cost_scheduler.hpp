@@ -1,0 +1,27 @@
+// The §3.3 energy-aware online heuristic.
+//
+// On each arrival the request goes to the replica location with the minimum
+// composite cost C(d_k) = E(d_k)·alpha/beta + P(d_k)·(1-alpha). With the
+// paper's balanced setting (alpha=0.2, beta=100) this trades a small
+// response-time penalty for large energy savings; alpha=1/alpha=0 recover
+// the pure-energy and pure-performance extremes swept in Appendix A.2.
+#pragma once
+
+#include "core/scheduler.hpp"
+
+namespace eas::core {
+
+class CostFunctionScheduler final : public OnlineScheduler {
+ public:
+  explicit CostFunctionScheduler(CostParams params = {}) : params_(params) {}
+
+  std::string name() const override;
+  const CostParams& params() const { return params_; }
+
+  DiskId pick(const disk::Request& r, const SystemView& view) override;
+
+ private:
+  CostParams params_;
+};
+
+}  // namespace eas::core

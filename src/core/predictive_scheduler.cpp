@@ -1,0 +1,65 @@
+#include "core/predictive_scheduler.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace eas::core {
+
+PredictiveCostScheduler::PredictiveCostScheduler(PredictiveParams params)
+    : params_(params) {
+  EAS_CHECK_MSG(params_.gamma >= 0.0, "gamma must be non-negative");
+  EAS_CHECK_MSG(params_.rate_halflife_seconds > 0.0,
+                "rate half-life must be positive");
+  decay_lambda_ = std::log(2.0) / params_.rate_halflife_seconds;
+}
+
+std::string PredictiveCostScheduler::name() const {
+  std::ostringstream os;
+  os << "predictive(a=" << params_.cost.alpha << ",b=" << params_.cost.beta
+     << ",g=" << params_.gamma << ")";
+  return os.str();
+}
+
+double PredictiveCostScheduler::estimated_rate(DiskId k, double now) const {
+  if (k >= rates_.size()) return 0.0;
+  const RateState& s = rates_[k];
+  EAS_DCHECK(now >= s.last_update);
+  return s.value * std::exp(-decay_lambda_ * (now - s.last_update));
+}
+
+void PredictiveCostScheduler::note_dispatch(DiskId k, double now) {
+  if (k >= rates_.size()) rates_.resize(k + 1);
+  RateState& s = rates_[k];
+  // Decay to `now`, then add one impulse of weight lambda: a steady stream
+  // of r requests/second then converges to an estimate of r
+  // (E[sum lambda*e^(-lambda*dt)] = lambda * r / lambda = r).
+  s.value = s.value * std::exp(-decay_lambda_ * (now - s.last_update)) +
+            decay_lambda_;
+  s.last_update = now;
+}
+
+DiskId PredictiveCostScheduler::pick(const disk::Request& r,
+                                     const SystemView& view) {
+  const auto& locs = view.placement().locations(r.data);
+  EAS_DCHECK(!locs.empty());
+  const double now = view.now();
+  double best_cost = std::numeric_limits<double>::infinity();
+  DiskId best = locs.front();
+  for (DiskId k : locs) {
+    const double base = composite_cost(view.snapshot(k), now,
+                                       view.power_params(), params_.cost);
+    const double discount = 1.0 + params_.gamma * estimated_rate(k, now);
+    const double c = base / discount;
+    if (c < best_cost) {
+      best_cost = c;
+      best = k;
+    }
+  }
+  note_dispatch(best, now);
+  return best;
+}
+
+}  // namespace eas::core

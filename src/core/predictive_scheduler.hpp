@@ -1,0 +1,58 @@
+// Prediction-augmented online scheduler (§3.3's suggested extension).
+//
+// "A prediction technique could be used to estimate the access probability
+// of a disk and assign lower cost to a more frequently used disk." This
+// scheduler implements that idea: it tracks an exponentially-weighted
+// moving average of each disk's request rate and discounts the Eq. 6 cost
+// of disks that are likely to be hit again soon anyway — concentrating load
+// on disks whose idleness windows would be cut short regardless, and
+// keeping genuinely cold disks asleep.
+//
+//   C'(d) = C(d) · (1 + gamma · rate(d))^-1
+//
+// gamma = 0 reduces exactly to CostFunctionScheduler. The rate estimate
+// decays with time constant `rate_halflife_seconds` and is updated from the
+// scheduler's own dispatch decisions (no extra instrumentation needed).
+#pragma once
+
+#include <vector>
+
+#include "core/scheduler.hpp"
+
+namespace eas::core {
+
+struct PredictiveParams {
+  CostParams cost{};
+  /// Strength of the popularity discount; 0 disables prediction.
+  double gamma = 1.0;
+  /// Half-life of the per-disk rate EWMA, seconds.
+  double rate_halflife_seconds = 60.0;
+};
+
+class PredictiveCostScheduler final : public OnlineScheduler {
+ public:
+  explicit PredictiveCostScheduler(PredictiveParams params = {});
+
+  std::string name() const override;
+  const PredictiveParams& params() const { return params_; }
+
+  DiskId pick(const disk::Request& r, const SystemView& view) override;
+
+  /// Current smoothed request rate estimate (requests/second) for disk k;
+  /// exposed for tests and diagnostics.
+  double estimated_rate(DiskId k, double now) const;
+
+ private:
+  void note_dispatch(DiskId k, double now);
+
+  PredictiveParams params_;
+  double decay_lambda_;  ///< ln 2 / half-life
+  // Lazily grown per-disk EWMA state: value at `last_update` time.
+  struct RateState {
+    double value = 0.0;
+    double last_update = 0.0;
+  };
+  mutable std::vector<RateState> rates_;
+};
+
+}  // namespace eas::core

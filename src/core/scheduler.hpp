@@ -1,0 +1,87 @@
+// Scheduler interfaces for the three §2.2 models.
+//
+// The information each interface receives enforces the paper's model at the
+// type level: an OnlineScheduler sees one request and the live system state;
+// a BatchScheduler sees the interval's queued requests and the live state;
+// an OfflineScheduler sees the entire trace up front (and nothing live —
+// its run is evaluated afterwards).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/energy_model.hpp"
+#include "disk/params.hpp"
+#include "disk/request.hpp"
+#include "placement/placement.hpp"
+#include "trace/trace.hpp"
+#include "util/ids.hpp"
+
+namespace eas::core {
+
+/// Read-only view of the running storage system offered to online/batch
+/// schedulers: placement, the clock, and per-disk snapshots.
+class SystemView {
+ public:
+  virtual ~SystemView() = default;
+
+  virtual double now() const = 0;
+  virtual const placement::PlacementMap& placement() const = 0;
+  virtual DiskSnapshot snapshot(DiskId k) const = 0;
+  /// Power model shared by all disks in the system.
+  virtual const disk::DiskPowerParams& power_params() const = 0;
+  DiskId num_disks() const { return placement().num_disks(); }
+};
+
+/// §2.2 online model: one request, immediate decision.
+class OnlineScheduler {
+ public:
+  virtual ~OnlineScheduler() = default;
+  virtual std::string name() const = 0;
+
+  /// Returns the disk the request should be sent to. Must be one of the
+  /// request's data locations (the runner enforces this).
+  virtual DiskId pick(const disk::Request& r, const SystemView& view) = 0;
+};
+
+/// §2.2 batch model: requests queue up and are assigned together every
+/// scheduling interval.
+class BatchScheduler {
+ public:
+  virtual ~BatchScheduler() = default;
+  virtual std::string name() const = 0;
+  virtual double batch_interval_seconds() const = 0;
+
+  /// Returns one disk per request (same order as `batch`); each must hold
+  /// the respective request's data.
+  virtual std::vector<DiskId> assign(const std::vector<disk::Request>& batch,
+                                     const SystemView& view) = 0;
+};
+
+/// A complete offline assignment: disk_of_request[i] is the disk serving the
+/// i-th trace record.
+struct OfflineAssignment {
+  std::vector<DiskId> disk_of_request;
+
+  /// Throws InvariantError unless every request is assigned to a disk that
+  /// stores its data.
+  void validate(const trace::Trace& trace,
+                const placement::PlacementMap& placement) const;
+
+  /// Dispatch times grouped per disk (sorted), as OraclePolicy expects.
+  std::vector<std::vector<double>> arrivals_by_disk(
+      const trace::Trace& trace, DiskId num_disks) const;
+};
+
+/// §2.2 offline model: full a-priori knowledge of the request stream.
+class OfflineScheduler {
+ public:
+  virtual ~OfflineScheduler() = default;
+  virtual std::string name() const = 0;
+
+  virtual OfflineAssignment schedule(const trace::Trace& trace,
+                                     const placement::PlacementMap& placement,
+                                     const disk::DiskPowerParams& power) = 0;
+};
+
+}  // namespace eas::core

@@ -1,0 +1,70 @@
+#include "core/wsc_scheduler.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace eas::core {
+
+std::string WscBatchScheduler::name() const {
+  std::ostringstream os;
+  os << "wsc(batch=" << interval_ << "s"
+     << (mode_ == WeightMode::kPureEnergy ? ",energy" : "") << ")";
+  return os.str();
+}
+
+graph::SetCoverInstance WscBatchScheduler::build_instance(
+    const std::vector<disk::Request>& batch, const SystemView& view,
+    std::vector<DiskId>& candidate_disks) const {
+  graph::SetCoverInstance instance;
+  instance.num_elements = batch.size();
+
+  // One set per disk that stores at least one batched request's data.
+  std::unordered_map<DiskId, std::size_t> set_of_disk;
+  candidate_disks.clear();
+  for (std::size_t e = 0; e < batch.size(); ++e) {
+    for (DiskId k : view.placement().locations(batch[e].data)) {
+      auto [it, inserted] = set_of_disk.try_emplace(k, instance.sets.size());
+      if (inserted) {
+        instance.sets.emplace_back();
+        candidate_disks.push_back(k);
+        const DiskSnapshot snap = view.snapshot(k);
+        instance.sets.back().weight =
+            mode_ == WeightMode::kPureEnergy
+                ? marginal_energy_cost(snap, view.now(), view.power_params())
+                : composite_cost(snap, view.now(), view.power_params(),
+                                 cost_);
+      }
+      instance.sets[it->second].elements.push_back(e);
+    }
+  }
+  return instance;
+}
+
+std::vector<DiskId> WscBatchScheduler::assign(
+    const std::vector<disk::Request>& batch, const SystemView& view) {
+  if (batch.empty()) return {};
+
+  std::vector<DiskId> candidate_disks;
+  const graph::SetCoverInstance instance =
+      build_instance(batch, view, candidate_disks);
+  const graph::SetCoverSolution cover =
+      graph::greedy_weighted_set_cover(instance);
+
+  // Each request goes to the first chosen set (in greedy order) holding its
+  // data — the set that "paid" for covering it.
+  std::vector<DiskId> assignment(batch.size(), kInvalidDisk);
+  for (std::size_t s : cover.chosen_sets) {
+    for (std::size_t e : instance.sets[s].elements) {
+      if (assignment[e] == kInvalidDisk) assignment[e] = candidate_disks[s];
+    }
+  }
+  for (std::size_t e = 0; e < batch.size(); ++e) {
+    EAS_CHECK_MSG(assignment[e] != kInvalidDisk,
+                  "set cover left request " << e << " unassigned");
+  }
+  return assignment;
+}
+
+}  // namespace eas::core

@@ -1,0 +1,238 @@
+#include "disk/disk.hpp"
+
+namespace eas::disk {
+
+const char* to_string(DiskState s) {
+  switch (s) {
+    case DiskState::Standby: return "standby";
+    case DiskState::SpinningUp: return "spin-up";
+    case DiskState::Idle: return "idle";
+    case DiskState::Active: return "active";
+    case DiskState::SpinningDown: return "spin-down";
+  }
+  return "?";
+}
+
+double DiskStats::total_seconds() const {
+  double t = 0.0;
+  for (double s : seconds_in_state) t += s;
+  return t;
+}
+
+double DiskStats::total_joules() const {
+  double j = 0.0;
+  for (double e : joules_in_state) j += e;
+  return j;
+}
+
+Disk::Disk(DiskId id, sim::Simulator& sim, DiskPowerParams power,
+           DiskPerfParams perf, DiskState initial_state)
+    : id_(id),
+      sim_(sim),
+      power_(power),
+      perf_(perf),
+      state_(initial_state),
+      state_since_(sim.now()),
+      accounted_until_(sim.now()),
+      head_cylinder_(perf.num_cylinders / 2) {
+  power_.validate();
+  perf_.validate();
+  EAS_CHECK_MSG(initial_state == DiskState::Standby ||
+                    initial_state == DiskState::Idle,
+                "disks must start settled (standby or idle)");
+}
+
+double Disk::power_of(DiskState s) const {
+  switch (s) {
+    case DiskState::Standby: return power_.standby_watts;
+    case DiskState::SpinningUp: return power_.spinup_watts;
+    case DiskState::Idle: return power_.idle_watts;
+    case DiskState::Active: return power_.active_watts;
+    case DiskState::SpinningDown: return power_.spindown_watts;
+  }
+  return 0.0;
+}
+
+void Disk::flush_accounting() {
+  const sim::SimTime now = sim_.now();
+  EAS_DCHECK(now >= accounted_until_);
+  const double dt = now - accounted_until_;
+  if (dt > 0.0) {
+    const int s = static_cast<int>(state_);
+    stats_.seconds_in_state[s] += dt;
+    stats_.joules_in_state[s] += dt * power_of(state_);
+  }
+  accounted_until_ = now;
+}
+
+void Disk::transition_to(DiskState next) {
+  EAS_DCHECK(next != state_);
+  flush_accounting();
+  state_ = next;
+  state_since_ = sim_.now();
+}
+
+unsigned Disk::cylinder_of(DataId data, unsigned num_cylinders) {
+  // splitmix-style scramble so adjacent data ids land on unrelated tracks.
+  std::uint64_t z = static_cast<std::uint64_t>(data) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<unsigned>((z ^ (z >> 31)) % num_cylinders);
+}
+
+std::size_t Disk::next_to_serve() const {
+  EAS_DCHECK(!queue_.empty());
+  if (perf_.discipline == QueueDiscipline::kFcfs ||
+      !perf_.use_position_model || queue_.size() == 1) {
+    return 0;
+  }
+  // SPTF: nearest cylinder to the current head position.
+  std::size_t best = 0;
+  unsigned best_dist = ~0u;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const unsigned cyl =
+        cylinder_of(queue_[i].request.data, perf_.num_cylinders);
+    const unsigned dist =
+        cyl > head_cylinder_ ? cyl - head_cylinder_ : head_cylinder_ - cyl;
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void Disk::submit(const Request& r) {
+  last_request_time_ = sim_.now();
+  // A request submitted while the platters are not spinning will have waited
+  // on a power transition by the time it is serviced.
+  const bool disk_was_down = state_ == DiskState::Standby ||
+                             state_ == DiskState::SpinningUp ||
+                             state_ == DiskState::SpinningDown;
+  queue_.push_back(Pending{r, disk_was_down});
+
+  switch (state_) {
+    case DiskState::Idle:
+      start_service();
+      break;
+    case DiskState::Active:
+      if (!in_service_) start_service();  // re-entrant submit from callback
+      break;
+    case DiskState::Standby:
+      spin_up();
+      break;
+    case DiskState::SpinningUp:
+      break;  // serviced when the spin-up completes
+    case DiskState::SpinningDown:
+      wake_after_spindown_ = true;
+      break;
+  }
+}
+
+void Disk::spin_up() {
+  switch (state_) {
+    case DiskState::Standby: {
+      transition_to(DiskState::SpinningUp);
+      ++stats_.spin_ups;
+      sim_.schedule_in(power_.spinup_seconds, [this] { on_spinup_done(); });
+      break;
+    }
+    case DiskState::SpinningDown:
+      wake_after_spindown_ = true;
+      break;
+    case DiskState::SpinningUp:
+    case DiskState::Idle:
+    case DiskState::Active:
+      break;  // already spinning (or about to be)
+  }
+}
+
+void Disk::spin_down() {
+  EAS_CHECK_MSG(state_ == DiskState::Idle,
+                "spin_down from " << to_string(state_) << " on disk " << id_);
+  EAS_CHECK_MSG(queue_.empty() && !in_service_,
+                "spin_down with queued work on disk " << id_);
+  transition_to(DiskState::SpinningDown);
+  ++stats_.spin_downs;
+  sim_.schedule_in(power_.spindown_seconds, [this] { on_spindown_done(); });
+}
+
+void Disk::on_spinup_done() {
+  EAS_CHECK(state_ == DiskState::SpinningUp);
+  if (!queue_.empty()) {
+    start_service();
+  } else {
+    transition_to(DiskState::Idle);
+    if (on_idle_) on_idle_(*this);
+  }
+}
+
+void Disk::on_spindown_done() {
+  EAS_CHECK(state_ == DiskState::SpinningDown);
+  transition_to(DiskState::Standby);
+  if (wake_after_spindown_) {
+    wake_after_spindown_ = false;
+    spin_up();
+  }
+}
+
+void Disk::start_service() {
+  EAS_CHECK(!in_service_);
+  EAS_CHECK(!queue_.empty());
+  if (state_ != DiskState::Active) transition_to(DiskState::Active);
+  const std::size_t pick = next_to_serve();
+  current_ = queue_[pick].request;
+  current_waited_spinup_ = queue_[pick].waited_for_spin;
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+  in_service_ = true;
+  current_started_ = sim_.now();
+  double service;
+  if (perf_.use_position_model) {
+    const unsigned target = cylinder_of(current_.data, perf_.num_cylinders);
+    service = perf_.service_seconds_positional(head_cylinder_, target,
+                                               current_.size_bytes);
+    head_cylinder_ = target;
+  } else {
+    service = perf_.service_seconds(current_.size_bytes);
+  }
+  sim_.schedule_in(service, [this] { complete_service(); });
+}
+
+void Disk::complete_service() {
+  EAS_CHECK(state_ == DiskState::Active);
+  EAS_CHECK(in_service_);
+  in_service_ = false;
+  ++stats_.requests_served;
+
+  Completion c;
+  c.request = current_;
+  c.disk = id_;
+  c.service_start = current_started_;
+  c.completion_time = sim_.now();
+  c.waited_for_spinup = current_waited_spinup_;
+  if (on_completion_) on_completion_(c);
+
+  // The completion callback may have submitted more work re-entrantly.
+  if (!in_service_) {
+    if (!queue_.empty()) {
+      start_service();
+    } else if (state_ == DiskState::Active) {
+      transition_to(DiskState::Idle);
+      if (on_idle_) on_idle_(*this);
+    }
+  }
+}
+
+void Disk::finalize(sim::SimTime horizon) {
+  EAS_CHECK_MSG(horizon >= accounted_until_,
+                "finalize horizon precedes accounted time");
+  const double dt = horizon - accounted_until_;
+  if (dt > 0.0) {
+    const int s = static_cast<int>(state_);
+    stats_.seconds_in_state[s] += dt;
+    stats_.joules_in_state[s] += dt * power_of(state_);
+  }
+  accounted_until_ = horizon;
+}
+
+}  // namespace eas::disk

@@ -1,0 +1,171 @@
+// Disk entity: five-state power machine + FCFS service queue + energy meter.
+//
+// This is the DiskSim substitute. A disk is driven entirely by simulator
+// events; the storage system submits requests, a power policy calls
+// spin_down()/spin_up(), and the disk reports completions and idle
+// transitions through callbacks.
+//
+// State machine:
+//
+//   Standby --spin_up()--> SpinningUp --(T_up)--> Active (queue non-empty)
+//                                             \-> Idle   (queue empty)
+//   Idle --submit()--> Active --(queue drains)--> Idle [on_idle fires]
+//   Idle --spin_down()--> SpinningDown --(T_down)--> Standby
+//   Standby/SpinningDown --submit()--> spin-up is started (after the
+//       in-flight spin-down completes; hardware cannot abort a spin-down)
+//
+// Energy accounting integrates power over the time spent in each state and
+// is flushed on every transition, so stats are exact at any finalize() time.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "disk/params.hpp"
+#include "disk/request.hpp"
+#include "sim/simulator.hpp"
+#include "util/ids.hpp"
+
+namespace eas::disk {
+
+enum class DiskState : int {
+  Standby = 0,
+  SpinningUp = 1,
+  Idle = 2,
+  Active = 3,
+  SpinningDown = 4,
+};
+
+inline constexpr int kNumDiskStates = 5;
+const char* to_string(DiskState s);
+
+/// Per-disk counters; all times/energies are cumulative since construction
+/// and exact as of the last flush (finalize() flushes to a horizon).
+struct DiskStats {
+  std::array<double, kNumDiskStates> seconds_in_state{};
+  std::array<double, kNumDiskStates> joules_in_state{};
+  std::uint64_t spin_ups = 0;
+  std::uint64_t spin_downs = 0;
+  std::uint64_t requests_served = 0;
+
+  double total_seconds() const;
+  double total_joules() const;
+  double seconds(DiskState s) const {
+    return seconds_in_state[static_cast<int>(s)];
+  }
+  double joules(DiskState s) const {
+    return joules_in_state[static_cast<int>(s)];
+  }
+};
+
+class Disk {
+ public:
+  using CompletionCallback = std::function<void(const Completion&)>;
+  /// Fired when the disk transitions Active -> Idle (queue drained) or
+  /// SpinningUp -> Idle (spun up with nothing to do). Power policies hang
+  /// their spin-down timers off this.
+  using IdleCallback = std::function<void(Disk&)>;
+
+  Disk(DiskId id, sim::Simulator& sim, DiskPowerParams power,
+       DiskPerfParams perf, DiskState initial_state = DiskState::Standby);
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  DiskId id() const { return id_; }
+  DiskState state() const { return state_; }
+  const DiskPowerParams& power_params() const { return power_; }
+  const DiskPerfParams& perf_params() const { return perf_; }
+
+  void set_completion_callback(CompletionCallback cb) {
+    on_completion_ = std::move(cb);
+  }
+  void set_idle_callback(IdleCallback cb) { on_idle_ = std::move(cb); }
+
+  /// Submits a request. Wakes the disk if necessary; the request is serviced
+  /// FCFS once the platters are spinning.
+  void submit(const Request& r);
+
+  /// Power-policy entry point: begin spinning down. Only legal from Idle;
+  /// calling in any other state is an invariant violation (policies must
+  /// check state(), which the bundled policies do via cancelled timers).
+  void spin_down();
+
+  /// Power-policy entry point: begin spinning up (e.g. oracle pre-spin).
+  /// Legal from Standby; a no-op in SpinningUp/Idle/Active; from
+  /// SpinningDown it marks a wake-up so the disk bounces back afterwards.
+  void spin_up();
+
+  /// Queue depth including the in-service request — the paper's P(d_k)
+  /// performance cost (Eq. 7).
+  std::size_t queued_requests() const {
+    return queue_.size() + (in_service_ ? 1 : 0);
+  }
+
+  /// Arrival time of the most recent request submitted to this disk, or a
+  /// negative sentinel if none yet — the paper's T_last (Eq. 5).
+  sim::SimTime last_request_time() const { return last_request_time_; }
+  bool has_served_any() const { return last_request_time_ >= 0.0; }
+
+  /// Time the disk entered its current state.
+  sim::SimTime state_since() const { return state_since_; }
+
+  /// Current head cylinder (position model only; otherwise the initial
+  /// mid-stroke position).
+  unsigned head_cylinder() const { return head_cylinder_; }
+
+  /// Deterministic data-to-cylinder mapping used by the position model.
+  static unsigned cylinder_of(DataId data, unsigned num_cylinders);
+
+  /// Flushes accounting up to `horizon` (>= the last transition). Call once
+  /// at the end of a run before reading stats.
+  void finalize(sim::SimTime horizon);
+
+  const DiskStats& stats() const { return stats_; }
+
+ private:
+  void transition_to(DiskState next);
+  void flush_accounting();
+  double power_of(DiskState s) const;
+  void start_service();
+  void complete_service();
+  void on_spinup_done();
+  void on_spindown_done();
+
+  DiskId id_;
+  sim::Simulator& sim_;
+  DiskPowerParams power_;
+  DiskPerfParams perf_;
+
+  DiskState state_;
+  sim::SimTime state_since_ = 0.0;
+  sim::SimTime accounted_until_ = 0.0;
+
+  struct Pending {
+    Request request;
+    // Whether the request arrived while the platters were not spinning (it
+    // will have waited on a power transition when serviced).
+    bool waited_for_spin = false;
+  };
+  /// Index into queue_ of the next request to serve under the configured
+  /// discipline (0 for FCFS; nearest cylinder for SPTF).
+  std::size_t next_to_serve() const;
+
+  std::deque<Pending> queue_;
+  bool in_service_ = false;
+  Request current_{};
+  sim::SimTime current_started_ = 0.0;
+  bool current_waited_spinup_ = false;
+  bool wake_after_spindown_ = false;
+
+  sim::SimTime last_request_time_ = -1.0;
+  unsigned head_cylinder_;
+
+  DiskStats stats_;
+  CompletionCallback on_completion_;
+  IdleCallback on_idle_;
+};
+
+}  // namespace eas::disk

@@ -1,0 +1,33 @@
+// I/O request records exchanged between scheduler, disks and metrics.
+#pragma once
+
+#include "sim/simulator.hpp"
+#include "util/ids.hpp"
+
+namespace eas::disk {
+
+/// A read request for one data block (the paper: ~512 KB file block).
+struct Request {
+  RequestId id = 0;
+  DataId data = kInvalidData;
+  unsigned long size_bytes = 512 * 1024;
+  /// When the request entered the storage system.
+  sim::SimTime arrival_time = 0.0;
+  /// When the scheduler dispatched it to a disk (>= arrival under batching).
+  sim::SimTime dispatch_time = 0.0;
+};
+
+/// Completion record emitted by a disk.
+struct Completion {
+  Request request;
+  DiskId disk = kInvalidDisk;
+  sim::SimTime service_start = 0.0;  ///< transfer began
+  sim::SimTime completion_time = 0.0;
+  bool waited_for_spinup = false;  ///< any part of the wait was spin-up/down
+
+  /// End-to-end response time as the paper measures it: completion minus
+  /// system arrival (includes batching queue delay and spin-up delay).
+  double response_seconds() const { return completion_time - request.arrival_time; }
+};
+
+}  // namespace eas::disk

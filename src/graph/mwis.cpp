@@ -1,0 +1,223 @@
+#include "graph/mwis.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace eas::graph {
+
+WeightedGraph::WeightedGraph(std::vector<double> weights)
+    : weights_(std::move(weights)), adj_(weights_.size()) {
+  for (double w : weights_) {
+    EAS_CHECK_MSG(w >= 0.0, "vertex weights must be non-negative");
+  }
+}
+
+void WeightedGraph::add_edge(std::size_t u, std::size_t v) {
+  EAS_CHECK_MSG(u < size() && v < size(), "edge endpoint out of range");
+  EAS_CHECK_MSG(u != v, "self-loop on vertex " << u);
+  EAS_CHECK_MSG(!has_edge(u, v), "duplicate edge " << u << "-" << v);
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  ++num_edges_;
+}
+
+bool WeightedGraph::has_edge(std::size_t u, std::size_t v) const {
+  const auto& smaller = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const std::size_t target = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::find(smaller.begin(), smaller.end(), target) != smaller.end();
+}
+
+bool WeightedGraph::is_independent(
+    const std::vector<std::size_t>& vertices) const {
+  std::vector<bool> in_set(size(), false);
+  for (std::size_t v : vertices) {
+    if (v >= size() || in_set[v]) return false;
+    in_set[v] = true;
+  }
+  for (std::size_t v : vertices) {
+    for (std::size_t u : adj_[v]) {
+      if (in_set[u]) return false;
+    }
+  }
+  return true;
+}
+
+double WeightedGraph::total_weight(
+    const std::vector<std::size_t>& vertices) const {
+  double w = 0.0;
+  for (std::size_t v : vertices) w += weights_[v];
+  return w;
+}
+
+namespace {
+
+/// Shared greedy skeleton: `score(v, alive, alive_degree)` ranks surviving
+/// vertices; the best one joins the solution and N[v] is deleted.
+template <typename ScoreFn>
+MwisSolution greedy_mwis(const WeightedGraph& g, ScoreFn score) {
+  const std::size_t n = g.size();
+  std::vector<bool> alive(n, true);
+  std::vector<std::size_t> alive_degree(n);
+  for (std::size_t v = 0; v < n; ++v) alive_degree[v] = g.degree(v);
+  std::size_t remaining = n;
+
+  MwisSolution sol;
+  while (remaining > 0) {
+    double best_score = -1.0;
+    std::size_t best = n;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!alive[v]) continue;
+      const double s = score(v, alive, alive_degree);
+      if (s > best_score) {
+        best_score = s;
+        best = v;
+      }
+    }
+    EAS_DCHECK(best < n);
+    sol.vertices.push_back(best);
+    sol.total_weight += g.weight(best);
+
+    // Delete the closed neighbourhood N[best].
+    auto kill = [&](std::size_t v) {
+      if (!alive[v]) return;
+      alive[v] = false;
+      --remaining;
+      for (std::size_t u : g.neighbors(v)) {
+        if (alive[u]) --alive_degree[u];
+      }
+    };
+    kill(best);
+    for (std::size_t u : g.neighbors(best)) kill(u);
+  }
+  std::sort(sol.vertices.begin(), sol.vertices.end());
+  return sol;
+}
+
+}  // namespace
+
+MwisSolution gwmin(const WeightedGraph& g) {
+  return greedy_mwis(g, [&g](std::size_t v, const std::vector<bool>&,
+                             const std::vector<std::size_t>& alive_degree) {
+    return g.weight(v) / static_cast<double>(alive_degree[v] + 1);
+  });
+}
+
+MwisSolution gwmin2(const WeightedGraph& g) {
+  return greedy_mwis(
+      g, [&g](std::size_t v, const std::vector<bool>& alive,
+              const std::vector<std::size_t>&) {
+        double nbr = 0.0;
+        for (std::size_t u : g.neighbors(v)) {
+          if (alive[u]) nbr += g.weight(u);
+        }
+        const double denom = g.weight(v) + nbr;
+        // An isolated zero-weight vertex is harmless to take: score 1.
+        return denom == 0.0 ? 1.0 : g.weight(v) / denom;
+      });
+}
+
+namespace {
+
+struct ExactMwisState {
+  const WeightedGraph* g;
+  std::vector<bool> alive;
+  std::vector<std::size_t> current;
+  double current_weight = 0.0;
+  double best_weight = -1.0;
+  std::vector<std::size_t> best;
+
+  void search(double remaining_weight) {
+    if (current_weight + remaining_weight <= best_weight) return;  // bound
+
+    // Find the alive vertex with maximum alive-degree.
+    std::size_t pivot = g->size();
+    std::size_t pivot_degree = 0;
+    double alive_weight = 0.0;
+    for (std::size_t v = 0; v < g->size(); ++v) {
+      if (!alive[v]) continue;
+      alive_weight += g->weight(v);
+      std::size_t d = 0;
+      for (std::size_t u : g->neighbors(v)) {
+        if (alive[u]) ++d;
+      }
+      if (pivot == g->size() || d > pivot_degree) {
+        pivot = v;
+        pivot_degree = d;
+      }
+    }
+    if (pivot == g->size()) {  // graph empty: record leaf
+      if (current_weight > best_weight) {
+        best_weight = current_weight;
+        best = current;
+      }
+      return;
+    }
+    if (current_weight + alive_weight <= best_weight) return;
+
+    if (pivot_degree == 0) {
+      // All survivors are isolated: take them all and finish this branch.
+      double gain = 0.0;
+      std::vector<std::size_t> taken;
+      for (std::size_t v = 0; v < g->size(); ++v) {
+        if (alive[v]) {
+          gain += g->weight(v);
+          taken.push_back(v);
+        }
+      }
+      if (current_weight + gain > best_weight) {
+        best_weight = current_weight + gain;
+        best = current;
+        best.insert(best.end(), taken.begin(), taken.end());
+      }
+      return;
+    }
+
+    // Branch 1: include pivot (delete N[pivot]).
+    std::vector<std::size_t> killed;
+    auto kill = [&](std::size_t v) {
+      if (alive[v]) {
+        alive[v] = false;
+        killed.push_back(v);
+      }
+    };
+    kill(pivot);
+    for (std::size_t u : g->neighbors(pivot)) kill(u);
+    current.push_back(pivot);
+    current_weight += g->weight(pivot);
+    double removed_weight = 0.0;
+    for (std::size_t v : killed) removed_weight += g->weight(v);
+    search(alive_weight - removed_weight);
+    current.pop_back();
+    current_weight -= g->weight(pivot);
+    for (std::size_t v : killed) alive[v] = true;
+
+    // Branch 2: exclude pivot.
+    alive[pivot] = false;
+    search(alive_weight - g->weight(pivot));
+    alive[pivot] = true;
+  }
+};
+
+}  // namespace
+
+MwisSolution exact_mwis(const WeightedGraph& g, std::size_t max_vertices) {
+  EAS_CHECK_MSG(g.size() <= max_vertices,
+                "exact_mwis instance too large (" << g.size() << " > "
+                                                  << max_vertices << ")");
+  ExactMwisState st;
+  st.g = &g;
+  st.alive.assign(g.size(), true);
+  double total = 0.0;
+  for (std::size_t v = 0; v < g.size(); ++v) total += g.weight(v);
+  st.search(total);
+
+  MwisSolution sol;
+  sol.vertices = st.best;
+  std::sort(sol.vertices.begin(), sol.vertices.end());
+  sol.total_weight = std::max(0.0, st.best_weight);
+  return sol;
+}
+
+}  // namespace eas::graph

@@ -1,0 +1,69 @@
+// Maximum-weight independent set: the combinatorial core of offline
+// scheduling (§3.1).
+//
+// Theorem 1 reduces the offline energy-saving problem to MWIS on the
+// conflict graph over X(i,j,k) nodes. The paper solves it with GMIN, the
+// greedy of Sakai, Togasaki & Yamazaki [22]; we provide:
+//  * gwmin   — repeatedly take argmax weight(v) / (degree(v) + 1);
+//  * gwmin2  — the companion greedy using neighbourhood weight sums,
+//              often stronger on weight-skewed graphs;
+//  * exact_mwis — branch-and-bound for optimality-gap ablations on small
+//              instances.
+//
+// The scheduling-specific *implicit* conflict graph (which never
+// materialises its O(n²) edges) lives in core/mwis_scheduler; the explicit
+// algorithms here are the reference implementations it is tested against.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace eas::graph {
+
+/// Undirected vertex-weighted graph, adjacency-list representation.
+/// Vertices are 0..n-1; parallel edges and self-loops are rejected.
+class WeightedGraph {
+ public:
+  explicit WeightedGraph(std::vector<double> weights);
+
+  std::size_t size() const { return weights_.size(); }
+  double weight(std::size_t v) const { return weights_[v]; }
+  const std::vector<std::size_t>& neighbors(std::size_t v) const {
+    return adj_[v];
+  }
+  std::size_t degree(std::size_t v) const { return adj_[v].size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Adds an undirected edge; duplicate edges are invariant violations.
+  void add_edge(std::size_t u, std::size_t v);
+  bool has_edge(std::size_t u, std::size_t v) const;
+
+  bool is_independent(const std::vector<std::size_t>& vertices) const;
+  double total_weight(const std::vector<std::size_t>& vertices) const;
+
+ private:
+  std::vector<double> weights_;
+  std::vector<std::vector<std::size_t>> adj_;
+  std::size_t num_edges_ = 0;
+};
+
+struct MwisSolution {
+  std::vector<std::size_t> vertices;
+  double total_weight = 0.0;
+};
+
+/// GWMIN of Sakai et al. [22]: take v maximising w(v)/(d(v)+1) among the
+/// surviving vertices, add it, delete N[v]; repeat. Guarantees total weight
+/// >= sum_v w(v)/(d(v)+1).
+MwisSolution gwmin(const WeightedGraph& g);
+
+/// GWMIN2 of Sakai et al.: take v maximising w(v) / (w(v) + sum of N(v)
+/// weights); stronger when weights are highly skewed.
+MwisSolution gwmin2(const WeightedGraph& g);
+
+/// Exact MWIS via branch-and-bound (branch on max-degree vertex; bound by
+/// the remaining weight sum). Exponential worst case; `max_vertices` guards
+/// against misuse.
+MwisSolution exact_mwis(const WeightedGraph& g, std::size_t max_vertices = 48);
+
+}  // namespace eas::graph

@@ -1,0 +1,185 @@
+#include "graph/set_cover.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace eas::graph {
+
+void SetCoverInstance::validate() const {
+  for (std::size_t s = 0; s < sets.size(); ++s) {
+    EAS_CHECK_MSG(sets[s].weight >= 0.0,
+                  "set " << s << " has negative weight " << sets[s].weight);
+    for (std::size_t e : sets[s].elements) {
+      EAS_CHECK_MSG(e < num_elements,
+                    "set " << s << " contains out-of-range element " << e);
+    }
+  }
+}
+
+bool SetCoverInstance::feasible() const {
+  std::vector<bool> seen(num_elements, false);
+  for (const auto& s : sets) {
+    for (std::size_t e : s.elements) seen[e] = true;
+  }
+  return std::all_of(seen.begin(), seen.end(), [](bool b) { return b; });
+}
+
+bool SetCoverSolution::covers(const SetCoverInstance& instance) const {
+  std::vector<bool> covered(instance.num_elements, false);
+  for (std::size_t s : chosen_sets) {
+    if (s >= instance.sets.size()) return false;
+    for (std::size_t e : instance.sets[s].elements) covered[e] = true;
+  }
+  return std::all_of(covered.begin(), covered.end(), [](bool b) { return b; });
+}
+
+SetCoverSolution greedy_weighted_set_cover(const SetCoverInstance& instance) {
+  instance.validate();
+  EAS_CHECK_MSG(instance.feasible(), "set cover instance is infeasible");
+
+  std::vector<bool> covered(instance.num_elements, false);
+  std::size_t remaining = instance.num_elements;
+  std::vector<bool> chosen(instance.sets.size(), false);
+  SetCoverSolution sol;
+
+  // Cached count of uncovered elements per set; recomputed lazily because a
+  // stale count only over-estimates usefulness (counts never grow).
+  std::vector<std::size_t> fresh_count(instance.sets.size());
+  for (std::size_t s = 0; s < instance.sets.size(); ++s) {
+    fresh_count[s] = instance.sets[s].elements.size();
+  }
+  auto recount = [&](std::size_t s) {
+    std::size_t n = 0;
+    for (std::size_t e : instance.sets[s].elements) {
+      if (!covered[e]) ++n;
+    }
+    fresh_count[s] = n;
+    return n;
+  };
+
+  while (remaining > 0) {
+    double best_ratio = std::numeric_limits<double>::infinity();
+    std::size_t best_set = instance.sets.size();
+    std::size_t best_fresh = 0;
+    for (std::size_t s = 0; s < instance.sets.size(); ++s) {
+      if (chosen[s] || fresh_count[s] == 0) continue;
+      // Optimistic bound first; recount only if it could win.
+      double optimistic =
+          instance.sets[s].weight / static_cast<double>(fresh_count[s]);
+      if (optimistic > best_ratio) continue;
+      const std::size_t n = recount(s);
+      if (n == 0) continue;
+      const double ratio = instance.sets[s].weight / static_cast<double>(n);
+      // Tie-break toward larger coverage so free sets don't dribble in
+      // one element at a time.
+      if (ratio < best_ratio ||
+          (ratio == best_ratio && n > best_fresh)) {
+        best_ratio = ratio;
+        best_set = s;
+        best_fresh = n;
+      }
+    }
+    EAS_CHECK_MSG(best_set < instance.sets.size(),
+                  "greedy stalled with " << remaining << " uncovered");
+    chosen[best_set] = true;
+    sol.chosen_sets.push_back(best_set);
+    sol.total_weight += instance.sets[best_set].weight;
+    for (std::size_t e : instance.sets[best_set].elements) {
+      if (!covered[e]) {
+        covered[e] = true;
+        --remaining;
+      }
+    }
+    fresh_count[best_set] = 0;
+  }
+  return sol;
+}
+
+namespace {
+
+struct ExactState {
+  const SetCoverInstance* instance;
+  std::vector<std::vector<std::size_t>> sets_of_element;
+  std::vector<bool> covered;
+  std::size_t remaining = 0;
+  std::vector<std::size_t> current;
+  double current_weight = 0.0;
+  double best_weight = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> best;
+
+  void search() {
+    if (remaining == 0) {
+      if (current_weight < best_weight) {
+        best_weight = current_weight;
+        best = current;
+      }
+      return;
+    }
+    if (current_weight >= best_weight) return;  // bound
+
+    // Branch on the uncovered element with the fewest candidate sets.
+    std::size_t pivot = instance->num_elements;
+    std::size_t pivot_options = std::numeric_limits<std::size_t>::max();
+    for (std::size_t e = 0; e < instance->num_elements; ++e) {
+      if (covered[e]) continue;
+      if (sets_of_element[e].size() < pivot_options) {
+        pivot_options = sets_of_element[e].size();
+        pivot = e;
+      }
+    }
+    EAS_DCHECK(pivot < instance->num_elements);
+
+    for (std::size_t s : sets_of_element[pivot]) {
+      // Apply set s.
+      std::vector<std::size_t> newly;
+      for (std::size_t e : instance->sets[s].elements) {
+        if (!covered[e]) {
+          covered[e] = true;
+          newly.push_back(e);
+        }
+      }
+      remaining -= newly.size();
+      current.push_back(s);
+      current_weight += instance->sets[s].weight;
+
+      search();
+
+      current_weight -= instance->sets[s].weight;
+      current.pop_back();
+      remaining += newly.size();
+      for (std::size_t e : newly) covered[e] = false;
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<SetCoverSolution> exact_set_cover(
+    const SetCoverInstance& instance, std::size_t max_elements) {
+  instance.validate();
+  EAS_CHECK_MSG(instance.num_elements <= max_elements,
+                "exact_set_cover instance too large ("
+                    << instance.num_elements << " > " << max_elements << ")");
+  if (!instance.feasible()) return std::nullopt;
+
+  ExactState st;
+  st.instance = &instance;
+  st.covered.assign(instance.num_elements, false);
+  st.remaining = instance.num_elements;
+  st.sets_of_element.resize(instance.num_elements);
+  for (std::size_t s = 0; s < instance.sets.size(); ++s) {
+    for (std::size_t e : instance.sets[s].elements) {
+      st.sets_of_element[e].push_back(s);
+    }
+  }
+  st.search();
+
+  SetCoverSolution sol;
+  sol.chosen_sets = st.best;
+  sol.total_weight = st.best_weight;
+  return sol;
+}
+
+}  // namespace eas::graph

@@ -1,0 +1,56 @@
+// Weighted set cover: the combinatorial core of batch scheduling (§3.2).
+//
+// Theorem 2 reduces one batch scheduling round to weighted set cover:
+// elements are queued requests, sets are disks (weighted by the marginal
+// energy Eq. 5 charges for waking/extending them), and a minimum-weight
+// cover is a minimum-energy batch assignment.
+//
+// Two solvers:
+//  * greedy_weighted_set_cover — the classic H_n-approximation the paper
+//    uses (iteratively take the most cost-effective set);
+//  * exact_set_cover — branch-and-bound, exponential, for optimality-gap
+//    ablations and solver cross-validation on small instances.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace eas::graph {
+
+struct SetCoverInstance {
+  /// Universe is {0, 1, ..., num_elements-1}.
+  std::size_t num_elements = 0;
+
+  struct Set {
+    double weight = 0.0;  ///< must be >= 0
+    std::vector<std::size_t> elements;
+  };
+  std::vector<Set> sets;
+
+  /// Throws InvariantError on out-of-range elements or negative weights.
+  void validate() const;
+
+  /// True when every element appears in at least one set.
+  bool feasible() const;
+};
+
+struct SetCoverSolution {
+  std::vector<std::size_t> chosen_sets;  ///< indices into instance.sets
+  double total_weight = 0.0;
+
+  bool covers(const SetCoverInstance& instance) const;
+};
+
+/// Greedy H_n-approximation: repeatedly select the set minimising
+/// weight / (newly covered elements); zero-weight sets are free and picked
+/// first. Throws InvariantError if the instance is infeasible.
+SetCoverSolution greedy_weighted_set_cover(const SetCoverInstance& instance);
+
+/// Exact minimum-weight cover by branch-and-bound (branching on the
+/// uncovered element with the fewest candidate sets). Returns nullopt if the
+/// instance is infeasible. Intended for small instances (tests, ablations);
+/// `max_elements` guards against accidental exponential blowups.
+std::optional<SetCoverSolution> exact_set_cover(
+    const SetCoverInstance& instance, std::size_t max_elements = 24);
+
+}  // namespace eas::graph

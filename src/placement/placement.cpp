@@ -1,0 +1,83 @@
+#include "placement/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/zipf.hpp"
+
+namespace eas::placement {
+
+PlacementMap::PlacementMap(DiskId num_disks,
+                           std::vector<std::vector<DiskId>> locations)
+    : num_disks_(num_disks), locations_(std::move(locations)) {
+  EAS_CHECK_MSG(num_disks_ > 0, "placement needs at least one disk");
+  for (DataId b = 0; b < locations_.size(); ++b) {
+    auto& locs = locations_[b];
+    EAS_CHECK_MSG(!locs.empty(), "data " << b << " has no location");
+    for (DiskId k : locs) {
+      EAS_CHECK_MSG(k < num_disks_,
+                    "data " << b << " placed on out-of-range disk " << k);
+    }
+    // Duplicate copies on one disk are meaningless for scheduling and would
+    // silently inflate the replica choice set.
+    auto sorted = locs;
+    std::sort(sorted.begin(), sorted.end());
+    EAS_CHECK_MSG(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                      sorted.end(),
+                  "data " << b << " has duplicate locations");
+  }
+}
+
+const std::vector<DiskId>& PlacementMap::locations(DataId b) const {
+  EAS_CHECK_MSG(b < locations_.size(), "unknown data id " << b);
+  return locations_[b];
+}
+
+bool PlacementMap::stores(DataId b, DiskId k) const {
+  const auto& locs = locations(b);
+  return std::find(locs.begin(), locs.end(), k) != locs.end();
+}
+
+std::vector<std::size_t> PlacementMap::per_disk_data_counts() const {
+  std::vector<std::size_t> counts(num_disks_, 0);
+  for (const auto& locs : locations_) {
+    for (DiskId k : locs) ++counts[k];
+  }
+  return counts;
+}
+
+PlacementMap make_zipf_placement(const ZipfPlacementConfig& cfg) {
+  EAS_CHECK_MSG(cfg.replication_factor >= 1, "need at least one copy");
+  EAS_CHECK_MSG(cfg.replication_factor <= cfg.num_disks,
+                "more copies than disks");
+  EAS_CHECK(cfg.num_data > 0);
+
+  util::Rng rng(cfg.seed);
+
+  // Random rank->disk mapping so that "rank 1" is not always disk 0; the
+  // skew profile is what matters, not which physical disk is hottest.
+  std::vector<DiskId> rank_to_disk(cfg.num_disks);
+  std::iota(rank_to_disk.begin(), rank_to_disk.end(), DiskId{0});
+  rng.shuffle(rank_to_disk);
+
+  util::ZipfSampler zipf(cfg.num_disks, cfg.zipf_z);
+
+  std::vector<std::vector<DiskId>> locations(cfg.num_data);
+  for (DataId b = 0; b < cfg.num_data; ++b) {
+    auto& locs = locations[b];
+    locs.reserve(cfg.replication_factor);
+    locs.push_back(rank_to_disk[zipf.sample(rng)]);
+    // Uniform distinct replicas (rejection sampling; replica counts are tiny
+    // relative to 180 disks so collisions are rare).
+    while (locs.size() < cfg.replication_factor) {
+      const auto k = static_cast<DiskId>(rng.next_below(cfg.num_disks));
+      if (std::find(locs.begin(), locs.end(), k) == locs.end()) {
+        locs.push_back(k);
+      }
+    }
+  }
+  return PlacementMap(cfg.num_disks, std::move(locations));
+}
+
+}  // namespace eas::placement

@@ -1,0 +1,44 @@
+// Covering-subset power management (after Leverich & Kozyrakis [16] and
+// Lang & Patel [14], cited in §1 as composable with this paper's
+// schedulers).
+//
+// A minimum set of disks that together hold at least one replica of every
+// data item (computed with the greedy set-cover over the placement) is
+// pinned always-on; every other disk runs the ordinary fixed-threshold
+// (2CPM) policy. Availability is preserved by construction — any request
+// can always be served without a spin-up — while the non-covering disks
+// sleep whenever the scheduler steers load away from them.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "placement/placement.hpp"
+#include "power/fixed_threshold.hpp"
+
+namespace eas::power {
+
+class CoveringSubsetPolicy final : public PowerPolicy {
+ public:
+  /// Computes the covering subset from `placement` (greedy set cover with
+  /// unit weights). `threshold_seconds` configures the 2CPM side for
+  /// non-covering disks (negative = breakeven).
+  explicit CoveringSubsetPolicy(const placement::PlacementMap& placement,
+                                double threshold_seconds = -1.0);
+
+  std::string name() const override;
+
+  void on_run_start(sim::Simulator& sim,
+                    const std::vector<disk::Disk*>& disks) override;
+  void on_disk_idle(sim::Simulator& sim, disk::Disk& d) override;
+  void on_disk_activity(sim::Simulator& sim, disk::Disk& d) override;
+
+  bool is_covering(DiskId k) const { return covering_.contains(k); }
+  std::size_t covering_size() const { return covering_.size(); }
+
+ private:
+  std::unordered_set<DiskId> covering_;
+  FixedThresholdPolicy threshold_policy_;
+};
+
+}  // namespace eas::power

@@ -1,0 +1,42 @@
+#include "power/fixed_threshold.hpp"
+
+#include <sstream>
+
+namespace eas::power {
+
+std::string FixedThresholdPolicy::name() const {
+  if (threshold_ < 0.0) return "2cpm";
+  std::ostringstream os;
+  os << "threshold(" << threshold_ << "s)";
+  return os.str();
+}
+
+double FixedThresholdPolicy::threshold_for(const disk::Disk& d) const {
+  return threshold_ < 0.0 ? d.power_params().breakeven_seconds() : threshold_;
+}
+
+void FixedThresholdPolicy::on_disk_idle(sim::Simulator& sim, disk::Disk& d) {
+  // Replace any stale timer: the disk has begun a fresh idle period.
+  auto it = timers_.find(d.id());
+  if (it != timers_.end()) sim.cancel(it->second);
+  disk::Disk* dp = &d;
+  timers_[d.id()] =
+      sim.schedule_in(threshold_for(d), [dp] {
+        // The activity hook cancels this event whenever work arrives, so the
+        // disk must still be idle; the check is a cheap belt-and-braces.
+        if (dp->state() == disk::DiskState::Idle && dp->queued_requests() == 0) {
+          dp->spin_down();
+        }
+      });
+}
+
+void FixedThresholdPolicy::on_disk_activity(sim::Simulator& sim,
+                                            disk::Disk& d) {
+  auto it = timers_.find(d.id());
+  if (it != timers_.end()) {
+    sim.cancel(it->second);
+    timers_.erase(it);
+  }
+}
+
+}  // namespace eas::power

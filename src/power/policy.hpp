@@ -1,0 +1,52 @@
+// Disk power-management policies.
+//
+// A PowerPolicy owns the *spin-down* decision (and, for the oracle, advance
+// spin-ups). Spin-up on request arrival is the disk's own job — hardware
+// wakes when addressed — so policies only react to idle/activity
+// notifications from the storage system.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "disk/disk.hpp"
+#include "sim/simulator.hpp"
+
+namespace eas::power {
+
+class PowerPolicy {
+ public:
+  virtual ~PowerPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before any request is injected. `disks` outlive the run.
+  virtual void on_run_start(sim::Simulator& sim,
+                            const std::vector<disk::Disk*>& disks) {
+    (void)sim;
+    (void)disks;
+  }
+
+  /// Called when `d` transitions into Idle (queue drained / woke up empty).
+  virtual void on_disk_idle(sim::Simulator& sim, disk::Disk& d) {
+    (void)sim;
+    (void)d;
+  }
+
+  /// Called when a request is about to be submitted to `d`; policies cancel
+  /// any pending spin-down decision for the disk here.
+  virtual void on_disk_activity(sim::Simulator& sim, disk::Disk& d) {
+    (void)sim;
+    (void)d;
+  }
+};
+
+/// Baseline "always-on" configuration (the paper's normalisation target):
+/// disks never spin down. The storage system starts disks in Idle when this
+/// policy is selected, so they burn P_I for the whole run.
+class AlwaysOnPolicy final : public PowerPolicy {
+ public:
+  std::string name() const override { return "always-on"; }
+};
+
+}  // namespace eas::power

@@ -1,0 +1,93 @@
+#include "sim/simulator.hpp"
+
+#include <cmath>
+
+namespace eas::sim {
+
+EventHandle Simulator::schedule_at(SimTime when, Callback fn) {
+  EAS_CHECK_MSG(std::isfinite(when), "event time must be finite");
+  EAS_CHECK_MSG(when >= now_, "cannot schedule in the past: when=" << when
+                                                                   << " now=" << now_);
+  EAS_CHECK_MSG(static_cast<bool>(fn), "null event callback");
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_events_;
+  return EventHandle{id};
+}
+
+EventHandle Simulator::schedule_in(SimTime delay, Callback fn) {
+  EAS_CHECK_MSG(delay >= 0.0, "negative delay " << delay);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  const auto erased = callbacks_.erase(h.id_);
+  if (erased > 0) --live_events_;
+  return erased > 0;  // heap entry becomes a tombstone, skipped lazily
+}
+
+bool Simulator::pending(EventHandle h) const {
+  return h.valid() && callbacks_.contains(h.id_);
+}
+
+void Simulator::drop_cancelled() {
+  while (!queue_.empty() && !callbacks_.contains(queue_.top().id)) {
+    queue_.pop();
+  }
+}
+
+SimTime Simulator::next_event_time() const {
+  // const_cast-free lazy cleanup: scan from the top without popping.
+  // priority_queue lacks iteration, so we conservatively report the top
+  // live entry by copying tombstone handling into a mutable helper.
+  auto* self = const_cast<Simulator*>(this);
+  self->drop_cancelled();
+  return queue_.empty() ? kTimeInfinity : queue_.top().time;
+}
+
+void Simulator::fire(const Entry& e) {
+  auto it = callbacks_.find(e.id);
+  EAS_DCHECK(it != callbacks_.end());
+  // Move the callback out before invoking: the callback may schedule or
+  // cancel other events (rehashing callbacks_) or even re-enter step().
+  Callback fn = std::move(it->second);
+  callbacks_.erase(it);
+  --live_events_;
+  now_ = e.time;
+  ++fired_;
+  fn();
+}
+
+bool Simulator::step() {
+  drop_cancelled();
+  if (queue_.empty()) return false;
+  const Entry e = queue_.top();
+  queue_.pop();
+  fire(e);
+  return true;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(SimTime until) {
+  EAS_CHECK_MSG(until >= now_, "run_until target in the past");
+  std::uint64_t n = 0;
+  while (true) {
+    drop_cancelled();
+    if (queue_.empty() || queue_.top().time > until) break;
+    const Entry e = queue_.top();
+    queue_.pop();
+    fire(e);
+    ++n;
+  }
+  now_ = until;
+  return n;
+}
+
+}  // namespace eas::sim

@@ -1,0 +1,282 @@
+#include "storage/storage_system.hpp"
+
+#include <algorithm>
+
+#include "core/basic_schedulers.hpp"
+#include "power/oracle.hpp"
+#include "util/check.hpp"
+
+namespace eas::storage {
+
+double RunResult::total_energy() const {
+  double e = 0.0;
+  for (const auto& s : disk_stats) e += s.total_joules();
+  return e;
+}
+
+std::uint64_t RunResult::total_spin_ups() const {
+  std::uint64_t n = 0;
+  for (const auto& s : disk_stats) n += s.spin_ups;
+  return n;
+}
+
+std::uint64_t RunResult::total_spin_downs() const {
+  std::uint64_t n = 0;
+  for (const auto& s : disk_stats) n += s.spin_downs;
+  return n;
+}
+
+double RunResult::mean_response() const { return response_times.mean(); }
+
+double RunResult::always_on_energy(const disk::DiskPowerParams& p) const {
+  return static_cast<double>(disk_stats.size()) * p.idle_watts * horizon;
+}
+
+double RunResult::normalized_energy(const disk::DiskPowerParams& p) const {
+  const double base = always_on_energy(p);
+  return base > 0.0 ? total_energy() / base : 0.0;
+}
+
+std::vector<double> RunResult::state_time_fractions(
+    disk::DiskState state) const {
+  std::vector<double> fractions;
+  fractions.reserve(disk_stats.size());
+  for (const auto& s : disk_stats) {
+    const double total = s.total_seconds();
+    fractions.push_back(total > 0.0 ? s.seconds(state) / total : 0.0);
+  }
+  return fractions;
+}
+
+namespace {
+
+/// The live system: Fig 1's component wiring around the event kernel.
+class System final : public core::SystemView {
+ public:
+  System(const SystemConfig& config, const placement::PlacementMap& placement,
+         power::PowerPolicy& policy)
+      : config_(config), placement_(placement), policy_(policy) {
+    config_.power.validate();
+    config_.perf.validate();
+    disks_.reserve(placement.num_disks());
+    disk_ptrs_.reserve(placement.num_disks());
+    for (DiskId k = 0; k < placement.num_disks(); ++k) {
+      disks_.push_back(std::make_unique<disk::Disk>(
+          k, sim_, config_.power, config_.perf, config_.initial_state));
+      disk_ptrs_.push_back(disks_.back().get());
+      disks_.back()->set_completion_callback(
+          [this](const disk::Completion& c) { on_completion(c); });
+      disks_.back()->set_idle_callback(
+          [this](disk::Disk& d) { policy_.on_disk_idle(sim_, d); });
+    }
+  }
+
+  // ---- core::SystemView ----
+  double now() const override { return sim_.now(); }
+  const placement::PlacementMap& placement() const override {
+    return placement_;
+  }
+  core::DiskSnapshot snapshot(DiskId k) const override {
+    return core::snapshot_of(*disks_.at(k));
+  }
+  const disk::DiskPowerParams& power_params() const override {
+    return config_.power;
+  }
+
+  sim::Simulator& simulator() { return sim_; }
+  const std::vector<disk::Disk*>& disk_ptrs() const { return disk_ptrs_; }
+
+  void start() { policy_.on_run_start(sim_, disk_ptrs_); }
+
+  /// Routes a request to disk k, notifying the power policy first so stale
+  /// spin-down timers are cancelled before the disk sees the work.
+  void dispatch(disk::Request r, DiskId k) {
+    EAS_CHECK_MSG(placement_.stores(r.data, k),
+                  "scheduler sent data " << r.data << " to disk " << k
+                                         << " which does not store it");
+    dispatch_unchecked(r, k);
+  }
+
+  /// Like dispatch() but without the placement-membership check: write
+  /// off-loading legitimately parks blocks on foreign disks.
+  void dispatch_unchecked(disk::Request r, DiskId k) {
+    EAS_CHECK_MSG(k < disks_.size(), "dispatch to unknown disk " << k);
+    r.dispatch_time = sim_.now();
+    policy_.on_disk_activity(sim_, *disks_[k]);
+    disks_[k]->submit(r);
+  }
+
+  /// Drains the event queue, finalizes accounting, and harvests the result.
+  RunResult finish(const std::string& scheduler_name) {
+    sim_.run();
+    const double horizon = std::max(sim_.now(), last_completion_);
+    RunResult r;
+    r.scheduler_name = scheduler_name;
+    r.policy_name = policy_.name();
+    r.horizon = horizon;
+    r.disk_stats.reserve(disks_.size());
+    for (auto& d : disks_) {
+      d->finalize(horizon);
+      r.disk_stats.push_back(d->stats());
+    }
+    r.response_times = std::move(responses_);
+    r.total_requests = completed_;
+    r.requests_waited_spinup = waited_spinup_;
+    return r;
+  }
+
+ private:
+  void on_completion(const disk::Completion& c) {
+    ++completed_;
+    if (c.waited_for_spinup) ++waited_spinup_;
+    responses_.add(c.response_seconds());
+    last_completion_ = std::max(last_completion_, c.completion_time);
+  }
+
+  SystemConfig config_;
+  const placement::PlacementMap& placement_;
+  power::PowerPolicy& policy_;
+  sim::Simulator sim_;
+  std::vector<std::unique_ptr<disk::Disk>> disks_;
+  std::vector<disk::Disk*> disk_ptrs_;
+
+  stats::SampleStore responses_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t waited_spinup_ = 0;
+  double last_completion_ = 0.0;
+};
+
+disk::Request make_request(RequestId id, const trace::TraceRecord& rec) {
+  disk::Request r;
+  r.id = id;
+  r.data = rec.data;
+  r.size_bytes = rec.size_bytes;
+  r.arrival_time = rec.time;
+  r.dispatch_time = rec.time;
+  return r;
+}
+
+}  // namespace
+
+RunResult run_online(const SystemConfig& config,
+                     const placement::PlacementMap& placement,
+                     const trace::Trace& trace, core::OnlineScheduler& sched,
+                     power::PowerPolicy& policy) {
+  System system(config, placement, policy);
+  auto& sim = system.simulator();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    sim.schedule_at(trace[i].time, [&system, &sched, &trace, i] {
+      const disk::Request r = make_request(i, trace[i]);
+      system.dispatch(r, sched.pick(r, system));
+    });
+  }
+  system.start();
+  return system.finish(sched.name());
+}
+
+RunResult run_batch(const SystemConfig& config,
+                    const placement::PlacementMap& placement,
+                    const trace::Trace& trace, core::BatchScheduler& sched,
+                    power::PowerPolicy& policy) {
+  System system(config, placement, policy);
+  auto& sim = system.simulator();
+  const double interval = sched.batch_interval_seconds();
+  EAS_CHECK(interval > 0.0);
+
+  // Arrivals accumulate in `pending`; a tick chain drains them. The chain
+  // keeps running while arrivals remain so an empty interval cannot strand
+  // later requests.
+  auto pending = std::make_shared<std::vector<disk::Request>>();
+  auto remaining = std::make_shared<std::size_t>(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    sim.schedule_at(trace[i].time, [pending, remaining, &trace, i] {
+      pending->push_back(make_request(i, trace[i]));
+      --*remaining;
+    });
+  }
+
+  // std::function must be copyable, hence the shared recursive thunk.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [pending, remaining, tick, interval, &system, &sched, &sim] {
+    if (!pending->empty()) {
+      std::vector<disk::Request> batch;
+      batch.swap(*pending);
+      const std::vector<DiskId> assignment = sched.assign(batch, system);
+      EAS_CHECK_MSG(assignment.size() == batch.size(),
+                    "batch scheduler returned " << assignment.size()
+                                                << " picks for "
+                                                << batch.size() << " requests");
+      for (std::size_t b = 0; b < batch.size(); ++b) {
+        system.dispatch(batch[b], assignment[b]);
+      }
+    }
+    if (*remaining > 0 || !pending->empty()) {
+      sim.schedule_in(interval, *tick);
+    }
+  };
+  if (!trace.empty()) sim.schedule_at(trace.start_time() + interval, *tick);
+
+  system.start();
+  return system.finish(sched.name());
+}
+
+RunResult run_offline(const SystemConfig& config,
+                      const placement::PlacementMap& placement,
+                      const trace::Trace& trace,
+                      const core::OfflineAssignment& assignment,
+                      const std::string& scheduler_name) {
+  assignment.validate(trace, placement);
+  power::OraclePolicy policy(
+      assignment.arrivals_by_disk(trace, placement.num_disks()));
+  System system(config, placement, policy);
+  auto& sim = system.simulator();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const DiskId k = assignment.disk_of_request[i];
+    sim.schedule_at(trace[i].time, [&system, &trace, i, k] {
+      system.dispatch(make_request(i, trace[i]), k);
+    });
+  }
+  system.start();
+  return system.finish(scheduler_name);
+}
+
+RunResult run_always_on(const SystemConfig& config,
+                        const placement::PlacementMap& placement,
+                        const trace::Trace& trace) {
+  SystemConfig cfg = config;
+  cfg.initial_state = disk::DiskState::Idle;
+  power::AlwaysOnPolicy policy;
+  core::StaticScheduler sched;
+  return run_online(cfg, placement, trace, sched, policy);
+}
+
+RunResult run_online_mixed(const SystemConfig& config,
+                           const placement::PlacementMap& placement,
+                           const trace::Trace& trace,
+                           core::OnlineScheduler& sched,
+                           power::PowerPolicy& policy,
+                           core::WriteOffloadManager& offloader) {
+  System system(config, placement, policy);
+  auto& sim = system.simulator();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    sim.schedule_at(trace[i].time, [&system, &sched, &offloader, &trace, i] {
+      const disk::Request r = make_request(i, trace[i]);
+      if (!trace[i].is_read) {
+        system.dispatch_unchecked(r, offloader.route_write(r, system));
+        return;
+      }
+      // A freshly written block may live away from placement until
+      // reclaimed; such reads bypass the scheduler (there is exactly one
+      // valid location).
+      if (const auto diverted = offloader.read_override(r.data, system)) {
+        system.dispatch_unchecked(r, *diverted);
+        return;
+      }
+      system.dispatch(r, sched.pick(r, system));
+    });
+  }
+  system.start();
+  return system.finish(sched.name() + "+write-offload");
+}
+
+}  // namespace eas::storage

@@ -1,0 +1,92 @@
+// StorageSystem: wires the simulation kernel, disks, a power policy, a
+// scheduler and the metrics collector into the Fig 1 architecture, and runs
+// a trace through it under the online, batch or offline model.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "core/write_offload.hpp"
+#include "disk/disk.hpp"
+#include "placement/placement.hpp"
+#include "power/policy.hpp"
+#include "sim/simulator.hpp"
+#include "stats/summary.hpp"
+#include "trace/trace.hpp"
+
+namespace eas::storage {
+
+struct SystemConfig {
+  disk::DiskPowerParams power{};
+  disk::DiskPerfParams perf{};
+  /// Initial disk state. Standby matches the paper's experiments; the
+  /// always-on baseline starts Idle (runners pick this automatically for
+  /// AlwaysOnPolicy).
+  disk::DiskState initial_state = disk::DiskState::Standby;
+};
+
+/// Everything a run produces; the figures are all derived from this.
+struct RunResult {
+  std::string scheduler_name;
+  std::string policy_name;
+  double horizon = 0.0;  ///< accounting end time (seconds)
+  std::vector<disk::DiskStats> disk_stats;
+  stats::SampleStore response_times;
+  std::uint64_t total_requests = 0;
+  std::uint64_t requests_waited_spinup = 0;
+
+  double total_energy() const;
+  std::uint64_t total_spin_ups() const;
+  std::uint64_t total_spin_downs() const;
+  double mean_response() const;
+  /// Energy of the always-on configuration over the same horizon and fleet.
+  double always_on_energy(const disk::DiskPowerParams& p) const;
+  double normalized_energy(const disk::DiskPowerParams& p) const;
+  /// Per-disk fraction of time in `state`, one entry per disk.
+  std::vector<double> state_time_fractions(disk::DiskState state) const;
+};
+
+/// Executes `trace` with an online scheduler: each request is dispatched to
+/// a disk the moment it arrives (§2.2 online model).
+RunResult run_online(const SystemConfig& config,
+                     const placement::PlacementMap& placement,
+                     const trace::Trace& trace, core::OnlineScheduler& sched,
+                     power::PowerPolicy& policy);
+
+/// Executes `trace` under the batch model: arrivals queue and the batch is
+/// assigned every sched.batch_interval_seconds().
+RunResult run_batch(const SystemConfig& config,
+                    const placement::PlacementMap& placement,
+                    const trace::Trace& trace, core::BatchScheduler& sched,
+                    power::PowerPolicy& policy);
+
+/// Executes a precomputed offline assignment through the event simulator
+/// under OraclePolicy (pre-spun disks, 2CPM-shaped spin-downs). Response
+/// times contain pure service time except for clipped initial pre-spins.
+RunResult run_offline(const SystemConfig& config,
+                      const placement::PlacementMap& placement,
+                      const trace::Trace& trace,
+                      const core::OfflineAssignment& assignment,
+                      const std::string& scheduler_name);
+
+/// Convenience: the always-on baseline (disks start idle, never spin down,
+/// static routing — routing is irrelevant to its energy).
+RunResult run_always_on(const SystemConfig& config,
+                        const placement::PlacementMap& placement,
+                        const trace::Trace& trace);
+
+/// Executes a mixed read/write trace under the online model: reads go
+/// through `sched` (honouring any diversion the off-loader recorded for
+/// freshly written blocks); writes go through `offloader` (§2.1's write
+/// off-loading extension — see core/write_offload.hpp). Off-load statistics
+/// accumulate in `offloader`.
+RunResult run_online_mixed(const SystemConfig& config,
+                           const placement::PlacementMap& placement,
+                           const trace::Trace& trace,
+                           core::OnlineScheduler& sched,
+                           power::PowerPolicy& policy,
+                           core::WriteOffloadManager& offloader);
+
+}  // namespace eas::storage

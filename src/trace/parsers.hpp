@@ -1,0 +1,77 @@
+// Trace file parsers.
+//
+// Three on-disk formats are supported:
+//
+//  * SPC / UMass repository format (Financial1): CSV lines
+//        ASU,LBA,size_bytes,opcode,timestamp_seconds
+//    with opcode in {r,R,w,W}. Each distinct (ASU, LBA) pair becomes one
+//    DataId — the paper's "unique combination of disk id and block address".
+//
+//  * Cello text form: whitespace-separated
+//        timestamp_seconds device_id block_offset size_bytes r|w
+//    ('#'-prefixed comment lines allowed). The original HP Cello trace ships
+//    in binary SRT; this is the common post-processed textual export, and
+//    each distinct (device, block_offset) pair becomes one DataId.
+//
+//  * Generic CSV with the header "time,data,size,op" for round-tripping the
+//    library's own traces.
+//
+// Parsers are strict: a malformed line raises TraceParseError with the line
+// number, unless ParseOptions::lenient is set, in which case bad lines are
+// counted and skipped.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace eas::trace {
+
+class TraceParseError : public std::runtime_error {
+ public:
+  TraceParseError(const std::string& message, std::size_t line)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+struct ParseOptions {
+  bool lenient = false;        ///< skip malformed lines instead of throwing
+  bool reads_only = true;      ///< drop write records (§2.1)
+  double time_scale = 1.0;     ///< multiply timestamps (e.g. ms -> s)
+  std::size_t max_records = 0; ///< 0 = unlimited
+};
+
+struct ParseReport {
+  std::size_t parsed = 0;
+  std::size_t skipped_malformed = 0;
+  std::size_t skipped_writes = 0;
+};
+
+/// Parses UMass/SPC CSV (Financial1 format). Data ids are densified in
+/// first-appearance order; the result is time-sorted and rebased to 0.
+Trace parse_spc(std::istream& in, const ParseOptions& opts = {},
+                ParseReport* report = nullptr);
+
+/// Parses the Cello textual export format.
+Trace parse_cello_text(std::istream& in, const ParseOptions& opts = {},
+                       ParseReport* report = nullptr);
+
+/// Parses the library's own CSV ("time,data,size,op" header required).
+Trace parse_csv(std::istream& in, const ParseOptions& opts = {},
+                ParseReport* report = nullptr);
+
+/// Writes the library CSV format (round-trips through parse_csv).
+void write_csv(std::ostream& out, const Trace& trace);
+
+/// Loads a trace from a path, dispatching on extension: ".spc"/".csv-spc"
+/// -> SPC, ".cello" -> Cello text, ".csv" -> library CSV.
+Trace load_trace_file(const std::string& path, const ParseOptions& opts = {});
+
+}  // namespace eas::trace

@@ -1,0 +1,55 @@
+// Lightweight runtime invariant checks.
+//
+// EAS_CHECK is always on (release included): these guard library invariants
+// whose violation means the simulation state is corrupt, and the cost of a
+// predictable branch is negligible next to event processing.
+// EAS_DCHECK compiles out in NDEBUG builds; use it on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace eas {
+
+/// Thrown when a library invariant is violated. Catching it is almost always
+/// a bug; it exists so tests can assert on violations.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace eas
+
+#define EAS_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::eas::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define EAS_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream eas_check_os_;                              \
+      eas_check_os_ << msg;                                          \
+      ::eas::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                  eas_check_os_.str());              \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define EAS_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define EAS_DCHECK(expr) EAS_CHECK(expr)
+#endif

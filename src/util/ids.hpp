@@ -1,0 +1,25 @@
+// Shared identifier types.
+//
+// Plain integral aliases (not strong types) because they index vectors on hot
+// paths throughout the simulator; the *Id suffix plus distinct widths keep
+// accidental mixups visible in review and in function signatures.
+#pragma once
+
+#include <cstdint>
+
+namespace eas {
+
+/// Index of a disk within the storage system, dense in [0, num_disks).
+using DiskId = std::uint32_t;
+
+/// Identity of a data item (the paper: unique disk-id+LBA combination),
+/// dense in [0, num_data).
+using DataId = std::uint32_t;
+
+/// Monotonically increasing request identity, unique within one run.
+using RequestId = std::uint64_t;
+
+inline constexpr DiskId kInvalidDisk = ~DiskId{0};
+inline constexpr DataId kInvalidData = ~DataId{0};
+
+}  // namespace eas

@@ -1,0 +1,29 @@
+// Small string helpers used by the trace parsers and table printers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eas::util {
+
+/// Splits on a single-character delimiter; empty fields are preserved
+/// ("a,,b" -> {"a", "", "b"}). An empty input yields one empty field, which
+/// matches how CSV rows behave.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Locale-independent numeric parses; nullopt on any trailing garbage.
+std::optional<double> parse_double(std::string_view s);
+std::optional<long long> parse_int(std::string_view s);
+
+/// True if `s` starts with `prefix` (ASCII case-insensitive).
+bool istarts_with(std::string_view s, std::string_view prefix);
+
+/// ASCII lower-casing.
+std::string to_lower(std::string_view s);
+
+}  // namespace eas::util

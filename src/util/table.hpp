@@ -1,0 +1,41 @@
+// Plain-text table rendering for the experiment harnesses.
+//
+// Every bench binary prints the series a paper figure plots; this formatter
+// keeps those tables aligned and consistent so EXPERIMENTS.md can quote them
+// verbatim.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace eas::util {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision so that series are easy to eyeball against the paper.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row. Subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(std::string value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(long long value);
+  Table& cell(unsigned long long value);
+  Table& cell(int value);
+  Table& cell(std::size_t value);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with a header underline and two-space column gaps.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eas::util

@@ -1,0 +1,37 @@
+#include "util/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace eas::util {
+
+ZipfSampler::ZipfSampler(std::size_t n, double z) : z_(z) {
+  EAS_CHECK_MSG(n >= 1, "ZipfSampler needs at least one rank");
+  EAS_CHECK_MSG(z >= 0.0, "Zipf exponent must be non-negative");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), z);
+    cdf_[r] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+  cdf_.back() = 1.0;  // guard against rounding in the final bucket
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  EAS_CHECK(rank < cdf_.size());
+  const double hi = cdf_[rank];
+  const double lo = rank == 0 ? 0.0 : cdf_[rank - 1];
+  return hi - lo;
+}
+
+}  // namespace eas::util

@@ -1,0 +1,41 @@
+// Zipf(-like) sampling over ranked items.
+//
+// The paper places "original" data copies on disks drawn from a Zipf-like
+// distribution p(r) = c / r^z over disk ranks r = 1..K (§4.2, Appendix A.1),
+// with z swept from 0 (uniform) to 1 (classic Zipf). The same family models
+// data popularity in the synthetic traces.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace eas::util {
+
+/// Samples ranks 1..n with P(rank = r) ∝ 1 / r^z.
+///
+/// Uses an O(log n) inverted-CDF lookup over a precomputed prefix table, so
+/// construction is O(n) and sampling is cheap enough for trace generation of
+/// millions of records.
+class ZipfSampler {
+ public:
+  /// @param n  number of ranks (must be >= 1)
+  /// @param z  skew exponent; 0 gives the uniform distribution.
+  ZipfSampler(std::size_t n, double z);
+
+  /// Returns a 0-based rank in [0, n).
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of 0-based rank r.
+  double pmf(std::size_t rank) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double exponent() const { return z_; }
+
+ private:
+  double z_;
+  std::vector<double> cdf_;  // normalised inclusive prefix sums
+};
+
+}  // namespace eas::util

@@ -1,0 +1,113 @@
+// Shared mid-scale integration harness: a reduced version of the paper's
+// §4 configuration (60 disks, 8,000 Cello-like requests) swept over
+// replication factors 1..5 for all six scheduler rows. The sweep is run
+// once per test binary and cached.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/basic_schedulers.hpp"
+#include "core/cost_scheduler.hpp"
+#include "core/mwis_scheduler.hpp"
+#include "core/wsc_scheduler.hpp"
+#include "placement/placement.hpp"
+#include "power/fixed_threshold.hpp"
+#include "storage/storage_system.hpp"
+#include "trace/synthetic.hpp"
+#include "util/check.hpp"
+
+namespace eas::integration {
+
+inline constexpr std::size_t kNumRequests = 8000;
+inline constexpr DiskId kNumDisks = 60;
+
+inline const disk::DiskPowerParams& power() {
+  static const disk::DiskPowerParams p{};  // production Barracuda model
+  return p;
+}
+
+struct RfSweep {
+  std::map<std::pair<unsigned, std::string>, storage::RunResult> results;
+
+  const storage::RunResult& at(unsigned rf, const std::string& sched) const {
+    const auto it = results.find({rf, sched});
+    EAS_CHECK_MSG(it != results.end(), "missing run " << sched << "@" << rf);
+    return it->second;
+  }
+};
+
+inline trace::Trace integration_trace() {
+  trace::SyntheticTraceConfig cfg = trace::cello_like_config(5);
+  cfg.num_requests = kNumRequests;
+  cfg.num_data = 4096;
+  // Scale the 35 req/s fleet-wide rate down with the fleet (60/180 disks)
+  // so per-disk load matches the full-scale experiments.
+  cfg.mean_rate = 12.0;
+  return trace::make_synthetic_trace(cfg);
+}
+
+inline placement::PlacementMap integration_placement(unsigned rf) {
+  placement::ZipfPlacementConfig cfg;
+  cfg.num_disks = kNumDisks;
+  cfg.num_data = 4096;
+  cfg.replication_factor = rf;
+  cfg.zipf_z = 1.0;
+  cfg.seed = 42;
+  return placement::make_zipf_placement(cfg);
+}
+
+inline RfSweep run_rf_sweep() {
+  RfSweep sweep;
+  const auto trace = integration_trace();
+  storage::SystemConfig cfg;  // defaults: paper disk model, standby start
+  for (unsigned rf = 1; rf <= 5; ++rf) {
+    const auto placement = integration_placement(rf);
+
+    sweep.results.emplace(
+        std::make_pair(rf, "always-on"),
+        storage::run_always_on(cfg, placement, trace));
+    {
+      core::RandomScheduler sched(99);
+      power::FixedThresholdPolicy policy;
+      sweep.results.emplace(
+          std::make_pair(rf, "random"),
+          storage::run_online(cfg, placement, trace, sched, policy));
+    }
+    {
+      core::StaticScheduler sched;
+      power::FixedThresholdPolicy policy;
+      sweep.results.emplace(
+          std::make_pair(rf, "static"),
+          storage::run_online(cfg, placement, trace, sched, policy));
+    }
+    {
+      core::CostFunctionScheduler sched;  // alpha=0.2, beta=100
+      power::FixedThresholdPolicy policy;
+      sweep.results.emplace(
+          std::make_pair(rf, "heuristic"),
+          storage::run_online(cfg, placement, trace, sched, policy));
+    }
+    {
+      core::WscBatchScheduler sched(0.1);
+      power::FixedThresholdPolicy policy;
+      sweep.results.emplace(
+          std::make_pair(rf, "wsc"),
+          storage::run_batch(cfg, placement, trace, sched, policy));
+    }
+    {
+      core::MwisOptions opts;
+      opts.graph.successor_horizon = 3;
+      opts.refine_passes = 5;
+      core::MwisOfflineScheduler sched(opts);
+      const auto assignment = sched.schedule(trace, placement, cfg.power);
+      sweep.results.emplace(
+          std::make_pair(rf, "mwis"),
+          storage::run_offline(cfg, placement, trace, assignment,
+                               sched.name()));
+    }
+  }
+  return sweep;
+}
+
+}  // namespace eas::integration

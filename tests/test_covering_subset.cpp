@@ -1,0 +1,145 @@
+// Tests for the covering-subset power policy ([16]/[14]-style, §1).
+#include <gtest/gtest.h>
+
+#include "core/cost_scheduler.hpp"
+#include "paper_example.hpp"
+#include "power/covering_subset.hpp"
+#include "power/fixed_threshold.hpp"
+#include "storage/storage_system.hpp"
+#include "trace/synthetic.hpp"
+
+namespace eas::power {
+namespace {
+
+TEST(CoveringSubset, CoversEveryDataItem) {
+  const auto placement = testing::example_placement();
+  CoveringSubsetPolicy policy(placement);
+  for (DataId b = 0; b < placement.num_data(); ++b) {
+    bool covered = false;
+    for (DiskId k : placement.locations(b)) {
+      if (policy.is_covering(k)) covered = true;
+    }
+    EXPECT_TRUE(covered) << "data " << b;
+  }
+}
+
+TEST(CoveringSubset, FindsTheMinimumCoverOnThePaperInstance) {
+  // d1 + (d3 or d4) covers b1..b6; no single disk does.
+  CoveringSubsetPolicy policy(testing::example_placement());
+  EXPECT_EQ(policy.covering_size(), 2u);
+  EXPECT_TRUE(policy.is_covering(0));
+}
+
+TEST(CoveringSubset, PinnedDisksNeverSpinDown) {
+  sim::Simulator sim;
+  const auto placement = testing::example_placement();
+  CoveringSubsetPolicy policy(placement);
+
+  disk::DiskPowerParams power;  // breakeven ~30.8 s
+  disk::Disk pinned(0, sim, power, {}, disk::DiskState::Idle);
+  ASSERT_TRUE(policy.is_covering(0));
+  policy.on_disk_idle(sim, pinned);
+  sim.run_until(1000.0);
+  EXPECT_EQ(pinned.state(), disk::DiskState::Idle);
+  EXPECT_EQ(pinned.stats().spin_downs, 0u);
+}
+
+TEST(CoveringSubset, NonPinnedDisksFollow2cpm) {
+  sim::Simulator sim;
+  const auto placement = testing::example_placement();
+  CoveringSubsetPolicy policy(placement);
+  // Find a non-covering disk (d2 = index 1 is never needed for a cover).
+  ASSERT_FALSE(policy.is_covering(1));
+
+  disk::DiskPowerParams power;
+  disk::Disk d(1, sim, power, {}, disk::DiskState::Idle);
+  policy.on_disk_idle(sim, d);
+  sim.run_until(power.breakeven_seconds() + power.spindown_seconds + 1.0);
+  EXPECT_EQ(d.state(), disk::DiskState::Standby);
+}
+
+TEST(CoveringSubset, RunStartWakesTheCoveringDisks) {
+  sim::Simulator sim;
+  const auto placement = testing::example_placement();
+  CoveringSubsetPolicy policy(placement);
+
+  disk::DiskPowerParams power;
+  std::vector<std::unique_ptr<disk::Disk>> disks;
+  std::vector<disk::Disk*> ptrs;
+  for (DiskId k = 0; k < 4; ++k) {
+    disks.push_back(std::make_unique<disk::Disk>(k, sim, power,
+                                                 disk::DiskPerfParams{},
+                                                 disk::DiskState::Standby));
+    ptrs.push_back(disks.back().get());
+  }
+  policy.on_run_start(sim, ptrs);
+  sim.run();
+  for (DiskId k = 0; k < 4; ++k) {
+    if (policy.is_covering(k)) {
+      EXPECT_EQ(disks[k]->state(), disk::DiskState::Idle) << "disk " << k;
+    } else {
+      EXPECT_EQ(disks[k]->state(), disk::DiskState::Standby) << "disk " << k;
+    }
+  }
+}
+
+TEST(CoveringSubset, EliminatesSpinUpWaitsOnReads) {
+  // With a covering subset always spinning, the pure-energy heuristic
+  // (alpha = 1: a sleeping disk always costs more than any spinning one)
+  // never needs to wake a disk. The default alpha = 0.2 would occasionally
+  // prefer an empty sleeping replica over a queued spinning one — the
+  // covering subset guarantees availability, not that a latency-weighted
+  // scheduler uses it.
+  placement::ZipfPlacementConfig pc;
+  pc.num_disks = 16;
+  pc.num_data = 256;
+  pc.replication_factor = 3;
+  const auto placement = placement::make_zipf_placement(pc);
+
+  trace::SyntheticTraceConfig tc;
+  tc.num_requests = 3000;
+  tc.num_data = 256;
+  tc.mean_rate = 5.0;
+  const auto trace = trace::make_synthetic_trace(tc);
+
+  storage::SystemConfig cfg;
+  cfg.initial_state = disk::DiskState::Idle;  // covering disks booted first
+  core::CostFunctionScheduler sched(core::CostParams{1.0, 100.0});
+  CoveringSubsetPolicy policy(placement);
+  const auto r = storage::run_online(cfg, placement, trace, sched, policy);
+  EXPECT_EQ(r.total_requests, trace.size());
+  EXPECT_EQ(r.requests_waited_spinup, 0u);
+  // Response stays at the service floor.
+  EXPECT_LT(r.response_times.p90(), 0.1);
+}
+
+TEST(CoveringSubset, TradesEnergyForAvailabilityVersusPlain2cpm) {
+  placement::ZipfPlacementConfig pc;
+  pc.num_disks = 16;
+  pc.num_data = 256;
+  pc.replication_factor = 2;
+  const auto placement = placement::make_zipf_placement(pc);
+  trace::SyntheticTraceConfig tc;
+  tc.num_requests = 4000;
+  tc.num_data = 256;
+  tc.mean_rate = 3.0;  // very sparse: plain 2CPM sleeps aggressively
+  const auto trace = trace::make_synthetic_trace(tc);
+  storage::SystemConfig cfg;
+  cfg.initial_state = disk::DiskState::Idle;
+
+  const core::CostParams energy_only{1.0, 100.0};
+  core::CostFunctionScheduler s1(energy_only), s2(energy_only);
+  FixedThresholdPolicy plain;
+  CoveringSubsetPolicy covering(placement);
+  const auto r_plain = storage::run_online(cfg, placement, trace, s1, plain);
+  const auto r_cover =
+      storage::run_online(cfg, placement, trace, s2, covering);
+
+  // Pinning disks costs energy but buys the latency guarantee.
+  EXPECT_GE(r_cover.total_energy(), r_plain.total_energy() * 0.95);
+  EXPECT_LT(r_cover.response_times.p90(), r_plain.response_times.quantile(1.0));
+  EXPECT_EQ(r_cover.requests_waited_spinup, 0u);
+}
+
+}  // namespace
+}  // namespace eas::power

@@ -1,0 +1,131 @@
+// Mid-scale integration tests asserting the paper's *shape* claims on a
+// reduced configuration (60 disks, 8,000 requests) — large enough for the
+// orderings to be stable, small enough for CI.
+#include <gtest/gtest.h>
+
+#include "common_integration.hpp"
+
+namespace eas {
+namespace {
+
+class ShapeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    runs_ = new integration::RfSweep(integration::run_rf_sweep());
+  }
+  static void TearDownTestSuite() {
+    delete runs_;
+    runs_ = nullptr;
+  }
+  static const integration::RfSweep& runs() { return *runs_; }
+
+ private:
+  static integration::RfSweep* runs_;
+};
+
+integration::RfSweep* ShapeFixture::runs_ = nullptr;
+
+TEST_F(ShapeFixture, StaticEnergyIsFlatAcrossReplication) {
+  // Fig 6: Static ignores replicas entirely.
+  const double base = runs().at(1, "static").normalized_energy(
+      integration::power());
+  for (unsigned rf : {2u, 3u, 5u}) {
+    EXPECT_NEAR(
+        runs().at(rf, "static").normalized_energy(integration::power()), base,
+        0.05)
+        << "rf " << rf;
+  }
+}
+
+TEST_F(ShapeFixture, RandomEnergyClimbsTowardAlwaysOn) {
+  // Fig 6: spreading load keeps every disk awake.
+  const auto& p = integration::power();
+  EXPECT_GT(runs().at(5, "random").normalized_energy(p),
+            runs().at(1, "random").normalized_energy(p) + 0.05);
+  EXPECT_GT(runs().at(5, "random").normalized_energy(p), 0.85);
+}
+
+TEST_F(ShapeFixture, EnergyAwareRowsFallMonotonicallyWithReplication) {
+  const auto& p = integration::power();
+  for (const char* sched : {"heuristic", "wsc", "mwis"}) {
+    const double rf1 = runs().at(1, sched).normalized_energy(p);
+    const double rf3 = runs().at(3, sched).normalized_energy(p);
+    const double rf5 = runs().at(5, sched).normalized_energy(p);
+    EXPECT_LT(rf3, rf1 + 0.02) << sched;
+    EXPECT_LT(rf5, rf3 + 0.02) << sched;
+    EXPECT_LT(rf5, rf1 - 0.05) << sched;  // a real drop, not noise
+  }
+}
+
+TEST_F(ShapeFixture, EnergyAwareBeatsObliviousAtRf3) {
+  // The paper's headline comparison (§5.1).
+  const auto& p = integration::power();
+  const double random = runs().at(3, "random").normalized_energy(p);
+  const double stat = runs().at(3, "static").normalized_energy(p);
+  for (const char* sched : {"heuristic", "wsc", "mwis"}) {
+    const double e = runs().at(3, sched).normalized_energy(p);
+    EXPECT_LT(e, random - 0.05) << sched;
+    EXPECT_LT(e, stat) << sched;
+  }
+}
+
+TEST_F(ShapeFixture, MwisIsTheBestEnergyRowAtHighReplication) {
+  const auto& p = integration::power();
+  const double mwis = runs().at(5, "mwis").normalized_energy(p);
+  EXPECT_LE(mwis,
+            runs().at(5, "heuristic").normalized_energy(p) + 0.02);
+  EXPECT_LE(mwis, runs().at(5, "wsc").normalized_energy(p) + 0.02);
+}
+
+TEST_F(ShapeFixture, EnergyAwareSchedulingAlsoCutsResponseTime) {
+  // Fig 8: fewer spin-ups => fewer 10 s wake penalties.
+  EXPECT_LT(runs().at(3, "heuristic").mean_response(),
+            runs().at(3, "static").mean_response());
+  EXPECT_LT(runs().at(3, "heuristic").mean_response(),
+            runs().at(3, "random").mean_response());
+}
+
+TEST_F(ShapeFixture, WscCarriesTheBatchingDelay) {
+  // Fig 8/13: WSC trails the heuristic by roughly the batch interval.
+  EXPECT_GT(runs().at(3, "wsc").mean_response(),
+            runs().at(3, "heuristic").mean_response());
+}
+
+TEST_F(ShapeFixture, OfflineModelAvoidsSpinUpWaits) {
+  // Fig 12/13: MWIS (oracle pre-spins) has no wake tail.
+  const auto& mwis = runs().at(3, "mwis");
+  EXPECT_LT(static_cast<double>(mwis.requests_waited_spinup) /
+                static_cast<double>(mwis.total_requests),
+            0.01);
+  EXPECT_LT(mwis.response_times.p90(), 0.2);
+}
+
+TEST_F(ShapeFixture, MwisNeedsFewerSpinCyclesAtRf1) {
+  // Fig 7: with no routing freedom, only the offline model can still avoid
+  // wake-ups (it pre-spins and skips unprofitable sleeps).
+  EXPECT_LT(runs().at(1, "mwis").total_spin_ups() +
+                runs().at(1, "mwis").total_spin_downs(),
+            runs().at(1, "static").total_spin_ups() +
+                runs().at(1, "static").total_spin_downs());
+}
+
+TEST_F(ShapeFixture, AlwaysOnNeverTransitions) {
+  for (unsigned rf : {1u, 3u, 5u}) {
+    EXPECT_EQ(runs().at(rf, "always-on").total_spin_ups(), 0u);
+    EXPECT_EQ(runs().at(rf, "always-on").total_spin_downs(), 0u);
+  }
+}
+
+TEST_F(ShapeFixture, EveryRunServesTheWholeTrace) {
+  for (unsigned rf : {1u, 2u, 3u, 4u, 5u}) {
+    for (const char* sched :
+         {"always-on", "random", "static", "heuristic", "wsc", "mwis"}) {
+      EXPECT_EQ(runs().at(rf, sched).total_requests,
+                integration::kNumRequests)
+          << sched << " rf " << rf;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eas

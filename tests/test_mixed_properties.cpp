@@ -1,0 +1,108 @@
+// Property tests for mixed read/write runs: determinism, conservation of
+// requests across diversion/reclaim, and read-after-write routing at the
+// system level.
+#include <gtest/gtest.h>
+
+#include "core/cost_scheduler.hpp"
+#include "core/write_offload.hpp"
+#include "placement/placement.hpp"
+#include "power/fixed_threshold.hpp"
+#include "storage/storage_system.hpp"
+#include "trace/synthetic.hpp"
+
+namespace eas {
+namespace {
+
+struct MixedRig {
+  placement::PlacementMap placement;
+  trace::Trace trace;
+  storage::SystemConfig cfg;
+};
+
+MixedRig make_rig(std::uint64_t seed, double write_fraction) {
+  placement::ZipfPlacementConfig pc;
+  pc.num_disks = 16;
+  pc.num_data = 300;
+  pc.replication_factor = 2;
+  pc.seed = seed;
+
+  trace::SyntheticTraceConfig tc;
+  tc.num_requests = 4000;
+  tc.num_data = 300;
+  tc.mean_rate = 7.0;
+  tc.write_fraction = write_fraction;
+  tc.seed = seed;
+
+  return MixedRig{placement::make_zipf_placement(pc),
+                  trace::make_synthetic_trace(tc),
+                  storage::SystemConfig{}};
+}
+
+storage::RunResult run_mixed(const MixedRig& rig,
+                             core::WriteOffloadManager& offloader) {
+  core::CostFunctionScheduler sched;
+  power::FixedThresholdPolicy policy;
+  return storage::run_online_mixed(rig.cfg, rig.placement, rig.trace, sched,
+                                   policy, offloader);
+}
+
+class MixedSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MixedSeedTest, DeterministicAcrossRuns) {
+  const auto rig = make_rig(GetParam(), 0.25);
+  core::WriteOffloadManager m1, m2;
+  const auto a = run_mixed(rig, m1);
+  const auto b = run_mixed(rig, m2);
+  EXPECT_DOUBLE_EQ(a.total_energy(), b.total_energy());
+  EXPECT_EQ(a.total_spin_ups(), b.total_spin_ups());
+  EXPECT_EQ(m1.stats().writes_diverted, m2.stats().writes_diverted);
+  EXPECT_EQ(m1.stats().reclaims, m2.stats().reclaims);
+}
+
+TEST_P(MixedSeedTest, OffloadAccountingIsConserved) {
+  const auto rig = make_rig(GetParam() + 50, 0.3);
+  core::WriteOffloadManager mgr;
+  const auto r = run_mixed(rig, mgr);
+  const auto& st = mgr.stats();
+
+  EXPECT_EQ(r.total_requests, rig.trace.size());
+  // Every write is accounted to exactly one of the three outcomes.
+  EXPECT_EQ(st.writes_total,
+            st.writes_home + st.writes_diverted + st.writes_woke_home);
+  EXPECT_EQ(st.writes_total, rig.trace.size() - rig.trace.reads_only().size());
+  // Blocks still diverted at the end are those diverted and never reclaimed
+  // or overwritten home; reclaims can never exceed diversions.
+  EXPECT_LE(st.reclaims, st.writes_diverted);
+  EXPECT_LE(mgr.diverted_blocks(), st.writes_diverted);
+}
+
+TEST_P(MixedSeedTest, PerDiskServiceCountsMatchTotals) {
+  const auto rig = make_rig(GetParam() + 100, 0.2);
+  core::WriteOffloadManager mgr;
+  const auto r = run_mixed(rig, mgr);
+  std::uint64_t served = 0;
+  for (const auto& ds : r.disk_stats) served += ds.requests_served;
+  EXPECT_EQ(served, rig.trace.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixedSeedTest,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(MixedRun, ReadOnlyTraceMatchesPlainOnlineRun) {
+  // write_fraction = 0: the mixed runner must behave exactly like the plain
+  // online runner (no diversions, identical routing).
+  const auto rig = make_rig(3, 0.0);
+  core::WriteOffloadManager mgr;
+  const auto mixed = run_mixed(rig, mgr);
+
+  core::CostFunctionScheduler sched;
+  power::FixedThresholdPolicy policy;
+  const auto plain = storage::run_online(rig.cfg, rig.placement, rig.trace,
+                                         sched, policy);
+  EXPECT_DOUBLE_EQ(mixed.total_energy(), plain.total_energy());
+  EXPECT_EQ(mixed.total_spin_ups(), plain.total_spin_ups());
+  EXPECT_EQ(mgr.stats().writes_total, 0u);
+}
+
+}  // namespace
+}  // namespace eas

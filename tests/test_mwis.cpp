@@ -1,0 +1,168 @@
+// Tests for the MWIS algorithms: explicit graph, GWMIN variants, exact
+// branch-and-bound, randomized cross-validation and the GWMIN lower bound.
+#include <gtest/gtest.h>
+
+#include "graph/mwis.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace eas::graph {
+namespace {
+
+WeightedGraph path_graph(std::vector<double> weights) {
+  WeightedGraph g(std::move(weights));
+  for (std::size_t v = 0; v + 1 < g.size(); ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+TEST(WeightedGraph, EdgeBookkeeping) {
+  WeightedGraph g({1.0, 2.0, 3.0});
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(WeightedGraph, RejectsSelfLoopsDuplicatesAndBadWeights) {
+  WeightedGraph g({1.0, 1.0});
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 1), InvariantError);
+  EXPECT_THROW(g.add_edge(1, 1), InvariantError);
+  EXPECT_THROW(WeightedGraph({-1.0}), InvariantError);
+}
+
+TEST(WeightedGraph, IndependenceCheck) {
+  WeightedGraph g({1, 1, 1});
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.is_independent({0, 2}));
+  EXPECT_FALSE(g.is_independent({0, 1}));
+  EXPECT_FALSE(g.is_independent({0, 0}));  // duplicates rejected
+  EXPECT_TRUE(g.is_independent({}));
+}
+
+TEST(ExactMwis, EmptyGraphGivesEmptySolution) {
+  WeightedGraph g({});
+  const auto sol = exact_mwis(g);
+  EXPECT_TRUE(sol.vertices.empty());
+  EXPECT_DOUBLE_EQ(sol.total_weight, 0.0);
+}
+
+TEST(ExactMwis, IsolatedVerticesAllTaken) {
+  WeightedGraph g({1.0, 2.0, 3.0});
+  const auto sol = exact_mwis(g);
+  EXPECT_DOUBLE_EQ(sol.total_weight, 6.0);
+  EXPECT_EQ(sol.vertices.size(), 3u);
+}
+
+TEST(ExactMwis, PathGraphAlternation) {
+  // Path 1-2-3-4-5 with unit weights: optimum takes vertices 0,2,4.
+  const auto g = path_graph({1, 1, 1, 1, 1});
+  const auto sol = exact_mwis(g);
+  EXPECT_DOUBLE_EQ(sol.total_weight, 3.0);
+  EXPECT_TRUE(g.is_independent(sol.vertices));
+}
+
+TEST(ExactMwis, WeightBeatsCardinality) {
+  // Star: heavy centre vs three light leaves.
+  WeightedGraph g({10.0, 1.0, 1.0, 1.0});
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  const auto sol = exact_mwis(g);
+  EXPECT_DOUBLE_EQ(sol.total_weight, 10.0);
+  EXPECT_EQ(sol.vertices, (std::vector<std::size_t>{0}));
+}
+
+TEST(ExactMwis, RefusesOversizedGraphs) {
+  WeightedGraph g(std::vector<double>(100, 1.0));
+  EXPECT_THROW(exact_mwis(g, 48), InvariantError);
+}
+
+TEST(Gwmin, SolutionsAreAlwaysIndependent) {
+  const auto g = path_graph({5, 4, 3, 2, 1, 2, 3, 4, 5});
+  const auto sol = gwmin(g);
+  EXPECT_TRUE(g.is_independent(sol.vertices));
+  EXPECT_DOUBLE_EQ(sol.total_weight, g.total_weight(sol.vertices));
+}
+
+TEST(Gwmin, TakesTheHeavyIsolatedVertexFirst) {
+  WeightedGraph g({100.0, 1.0, 1.0});
+  g.add_edge(1, 2);
+  const auto sol = gwmin(g);
+  EXPECT_TRUE(g.is_independent(sol.vertices));
+  EXPECT_GE(sol.total_weight, 101.0);
+}
+
+TEST(Gwmin2, HandlesZeroWeightGraphs) {
+  WeightedGraph g({0.0, 0.0});
+  g.add_edge(0, 1);
+  const auto sol = gwmin2(g);
+  EXPECT_TRUE(g.is_independent(sol.vertices));
+  EXPECT_EQ(sol.vertices.size(), 1u);
+}
+
+class RandomMwisTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomMwisTest, GreediesAreIndependentBoundedAndBelowExact) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 14;
+  std::vector<double> weights;
+  for (std::size_t v = 0; v < n; ++v) weights.push_back(rng.uniform(0.5, 10.0));
+  WeightedGraph g(std::move(weights));
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(0.3)) g.add_edge(u, v);
+    }
+  }
+
+  const auto exact = exact_mwis(g);
+  EXPECT_TRUE(g.is_independent(exact.vertices));
+
+  for (const auto& sol : {gwmin(g), gwmin2(g)}) {
+    EXPECT_TRUE(g.is_independent(sol.vertices));
+    EXPECT_LE(sol.total_weight, exact.total_weight + 1e-9);
+  }
+
+  // Sakai et al.'s guarantee: GWMIN >= sum_v w(v) / (d(v)+1).
+  double bound = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    bound += g.weight(v) / static_cast<double>(g.degree(v) + 1);
+  }
+  EXPECT_GE(gwmin(g).total_weight, bound - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMwisTest,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+TEST(ExactMwis, MatchesBruteForceOnTinyGraphs) {
+  // Exhaustive 2^n verification for n = 10 over a few seeds.
+  for (std::uint64_t seed : {3u, 4u, 5u}) {
+    util::Rng rng(seed);
+    const std::size_t n = 10;
+    std::vector<double> weights;
+    for (std::size_t v = 0; v < n; ++v) weights.push_back(rng.uniform(0, 5));
+    WeightedGraph g(std::move(weights));
+    for (std::size_t u = 0; u < n; ++u) {
+      for (std::size_t v = u + 1; v < n; ++v) {
+        if (rng.bernoulli(0.4)) g.add_edge(u, v);
+      }
+    }
+    double best = 0.0;
+    for (unsigned mask = 0; mask < (1u << n); ++mask) {
+      std::vector<std::size_t> verts;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (mask & (1u << v)) verts.push_back(v);
+      }
+      if (g.is_independent(verts)) {
+        best = std::max(best, g.total_weight(verts));
+      }
+    }
+    EXPECT_NEAR(exact_mwis(g).total_weight, best, 1e-9) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace eas::graph

@@ -1,0 +1,171 @@
+// Tests for the power policies: 2CPM fixed threshold and the oracle.
+#include <gtest/gtest.h>
+
+#include "disk/disk.hpp"
+#include "power/fixed_threshold.hpp"
+#include "power/oracle.hpp"
+#include "power/policy.hpp"
+#include "sim/simulator.hpp"
+
+namespace eas::power {
+namespace {
+
+disk::DiskPowerParams test_power() {
+  disk::DiskPowerParams p;
+  p.idle_watts = 10.0;
+  p.active_watts = 12.0;
+  p.standby_watts = 1.0;
+  p.spinup_watts = 20.0;
+  p.spindown_watts = 10.0;
+  p.spinup_seconds = 6.0;
+  p.spindown_seconds = 4.0;  // breakeven 16 s, window 26 s
+  return p;
+}
+
+OraclePolicy make_oracle(std::vector<std::vector<sim::SimTime>> arrivals) {
+  return OraclePolicy(std::move(arrivals));
+}
+
+struct Rig {
+  sim::Simulator sim;
+  disk::Disk d{0, sim, test_power(), disk::DiskPerfParams{},
+               disk::DiskState::Idle};
+};
+
+TEST(FixedThreshold, NameReflectsConfiguration) {
+  EXPECT_EQ(FixedThresholdPolicy().name(), "2cpm");
+  EXPECT_NE(FixedThresholdPolicy(5.0).name().find("5"), std::string::npos);
+}
+
+TEST(FixedThreshold, DefaultsToTheDiskBreakeven) {
+  Rig rig;
+  FixedThresholdPolicy policy;
+  EXPECT_DOUBLE_EQ(policy.threshold_for(rig.d), 16.0);
+  EXPECT_DOUBLE_EQ(FixedThresholdPolicy(3.0).threshold_for(rig.d), 3.0);
+}
+
+TEST(FixedThreshold, SpinsDownAfterExactlyTheThreshold) {
+  Rig rig;
+  FixedThresholdPolicy policy;
+  policy.on_disk_idle(rig.sim, rig.d);
+  rig.sim.run_until(15.9);
+  EXPECT_EQ(rig.d.state(), disk::DiskState::Idle);
+  rig.sim.run_until(16.1);
+  EXPECT_EQ(rig.d.state(), disk::DiskState::SpinningDown);
+  rig.sim.run();
+  EXPECT_EQ(rig.d.state(), disk::DiskState::Standby);
+  EXPECT_EQ(rig.d.stats().spin_downs, 1u);
+}
+
+TEST(FixedThreshold, ActivityCancelsThePendingSpinDown) {
+  Rig rig;
+  FixedThresholdPolicy policy;
+  policy.on_disk_idle(rig.sim, rig.d);
+  rig.sim.run_until(10.0);
+  policy.on_disk_activity(rig.sim, rig.d);  // request arrived
+  rig.sim.run_until(100.0);
+  EXPECT_EQ(rig.d.state(), disk::DiskState::Idle);
+  EXPECT_EQ(rig.d.stats().spin_downs, 0u);
+}
+
+TEST(FixedThreshold, ReIdleRestartsTheClock) {
+  Rig rig;
+  FixedThresholdPolicy policy;
+  policy.on_disk_idle(rig.sim, rig.d);
+  rig.sim.run_until(10.0);
+  policy.on_disk_activity(rig.sim, rig.d);
+  policy.on_disk_idle(rig.sim, rig.d);  // fresh idle period from t=10
+  rig.sim.run_until(20.0);              // only 10 s into the new period
+  EXPECT_EQ(rig.d.state(), disk::DiskState::Idle);
+  rig.sim.run_until(26.5);
+  EXPECT_EQ(rig.d.state(), disk::DiskState::SpinningDown);
+}
+
+TEST(FixedThreshold, IndependentTimersPerDisk) {
+  sim::Simulator sim;
+  disk::Disk d0{0, sim, test_power(), {}, disk::DiskState::Idle};
+  disk::Disk d1{1, sim, test_power(), {}, disk::DiskState::Idle};
+  FixedThresholdPolicy policy;
+  policy.on_disk_idle(sim, d0);
+  sim.run_until(8.0);
+  policy.on_disk_idle(sim, d1);
+  policy.on_disk_activity(sim, d0);  // cancel d0 only
+  sim.run_until(30.0);
+  EXPECT_EQ(d0.state(), disk::DiskState::Idle);
+  EXPECT_EQ(d1.state(), disk::DiskState::Standby);
+}
+
+TEST(AlwaysOn, NeverReacts) {
+  Rig rig;
+  AlwaysOnPolicy policy;
+  policy.on_disk_idle(rig.sim, rig.d);
+  rig.sim.run_until(1000.0);
+  EXPECT_EQ(rig.d.state(), disk::DiskState::Idle);
+  EXPECT_EQ(policy.name(), "always-on");
+}
+
+TEST(Oracle, PreSpinsForTheFirstArrival) {
+  sim::Simulator sim;
+  disk::Disk d{0, sim, test_power(), {}, disk::DiskState::Standby};
+  auto policy = make_oracle({{100.0}});
+  policy.on_run_start(sim, {&d});
+  // Wake fires at 100 - T_up(6) - margin, i.e. just before 94.
+  sim.run_until(94.5);
+  EXPECT_EQ(d.state(), disk::DiskState::SpinningUp);
+  sim.run_until(100.0);
+  EXPECT_EQ(d.state(), disk::DiskState::Idle);
+}
+
+TEST(Oracle, StaysIdleThroughInWindowGaps) {
+  sim::Simulator sim;
+  disk::Disk d{0, sim, test_power(), {}, disk::DiskState::Idle};
+  // Next arrival 20 s away: inside the 26 s window -> no spin-down.
+  auto policy = make_oracle({{20.0}});
+  policy.on_disk_idle(sim, d);
+  sim.run_until(19.0);
+  EXPECT_EQ(d.state(), disk::DiskState::Idle);
+  EXPECT_EQ(d.stats().spin_downs, 0u);
+}
+
+TEST(Oracle, CaseISpinsDownThenPreSpinsForTheSuccessor) {
+  sim::Simulator sim;
+  disk::Disk d{0, sim, test_power(), {}, disk::DiskState::Idle};
+  // Next arrival at 100 s: far outside the window.
+  auto policy = make_oracle({{100.0}});
+  policy.on_disk_idle(sim, d);
+  sim.run_until(17.0);  // past breakeven (16 s)
+  EXPECT_EQ(d.state(), disk::DiskState::SpinningDown);
+  sim.run_until(80.0);
+  EXPECT_EQ(d.state(), disk::DiskState::Standby);
+  sim.run_until(100.0);
+  EXPECT_EQ(d.state(), disk::DiskState::Idle);  // back up just in time
+  EXPECT_EQ(d.stats().spin_ups, 1u);
+}
+
+TEST(Oracle, NoFutureArrivalBehavesLikePlain2cpm) {
+  sim::Simulator sim;
+  disk::Disk d{0, sim, test_power(), {}, disk::DiskState::Idle};
+  auto policy = make_oracle({{}});
+  policy.on_disk_idle(sim, d);
+  sim.run();
+  EXPECT_EQ(d.state(), disk::DiskState::Standby);
+  EXPECT_EQ(d.stats().spin_downs, 1u);
+}
+
+TEST(Oracle, ActivityCancelsThePendingSpinDown) {
+  sim::Simulator sim;
+  disk::Disk d{0, sim, test_power(), {}, disk::DiskState::Idle};
+  auto policy = make_oracle({{100.0, 200.0}});
+  policy.on_disk_idle(sim, d);
+  sim.run_until(10.0);
+  policy.on_disk_activity(sim, d);
+  sim.run_until(20.0);
+  EXPECT_EQ(d.state(), disk::DiskState::Idle);
+}
+
+TEST(Oracle, RejectsUnsortedArrivals) {
+  EXPECT_THROW(OraclePolicy({{5.0, 1.0}}), InvariantError);
+}
+
+}  // namespace
+}  // namespace eas::power

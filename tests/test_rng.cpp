@@ -1,0 +1,186 @@
+// Unit and statistical tests for the RNG and its distributions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace eas::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ReseedRestartsTheStream) {
+  Rng a(99);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.next_u64());
+  a.reseed(99);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), first[i]);
+}
+
+TEST(Rng, NextDoubleInHalfOpenUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.next_below(0), InvariantError);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  const std::uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(bound)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10.0, 5.0 * std::sqrt(n / 10.0));
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ExponentialHasConfiguredMean) {
+  Rng rng(17);
+  const double rate = 4.0;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, ExponentialIsMemorylessInCv) {
+  // Exponential CV = 1; a gross deviation means a broken sampler.
+  Rng rng(19);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(1.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(std::sqrt(var) / mean, 1.0, 0.05);
+}
+
+TEST(Rng, ParetoRespectsScaleAndHasHeavyTail) {
+  Rng rng(23);
+  const double xm = 2.0, alpha = 1.5;
+  int above_10x = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.pareto(xm, alpha);
+    EXPECT_GE(x, xm);
+    if (x > 10.0 * xm) ++above_10x;
+  }
+  // P(X > 10 xm) = 10^-alpha ~ 3.2%.
+  EXPECT_NEAR(above_10x / static_cast<double>(n), std::pow(10.0, -alpha),
+              0.01);
+}
+
+TEST(Rng, NormalMatchesMoments) {
+  Rng rng(29);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sum2 / n - mean * mean), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(31);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(37);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.75, 0.01);
+}
+
+TEST(Rng, WeightedIndexRejectsBadWeights) {
+  Rng rng(1);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), InvariantError);
+  EXPECT_THROW(rng.weighted_index({1.0, -0.5}), InvariantError);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(41);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SplitStreamsAreUncorrelatedWithParent) {
+  Rng parent(43);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+}  // namespace
+}  // namespace eas::util

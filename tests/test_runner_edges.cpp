@@ -1,0 +1,156 @@
+// Edge cases and failure injection for the storage runners: empty traces,
+// misbehaving schedulers, degenerate configurations.
+#include <gtest/gtest.h>
+
+#include "core/basic_schedulers.hpp"
+#include "core/cost_scheduler.hpp"
+#include "core/wsc_scheduler.hpp"
+#include "paper_example.hpp"
+#include "power/fixed_threshold.hpp"
+#include "storage/storage_system.hpp"
+#include "trace/synthetic.hpp"
+
+namespace eas::storage {
+namespace {
+
+using testing::example_placement;
+
+SystemConfig small_config() {
+  SystemConfig cfg;
+  cfg.power = disk::example_power_params();
+  return cfg;
+}
+
+/// Scheduler that ignores placement — must be caught by the runner.
+class RogueScheduler final : public core::OnlineScheduler {
+ public:
+  std::string name() const override { return "rogue"; }
+  DiskId pick(const disk::Request& r, const core::SystemView& view) override {
+    // Deliberately pick a disk that does not store the data: b1 only lives
+    // on disk 0, so disk 2 is always wrong for it.
+    return r.data == 0 ? 2 : view.placement().original(r.data);
+  }
+};
+
+/// Batch scheduler returning the wrong number of assignments.
+class ShortBatchScheduler final : public core::BatchScheduler {
+ public:
+  std::string name() const override { return "short"; }
+  double batch_interval_seconds() const override { return 0.1; }
+  std::vector<DiskId> assign(const std::vector<disk::Request>& batch,
+                             const core::SystemView& view) override {
+    std::vector<DiskId> out;
+    for (std::size_t i = 0; i + 1 < batch.size(); ++i) {  // one short
+      out.push_back(view.placement().original(batch[i].data));
+    }
+    return out;
+  }
+};
+
+trace::Trace single_request_trace(DataId data) {
+  return trace::Trace({{1.0, data, 4096, true}});
+}
+
+TEST(RunnerEdges, EmptyTraceYieldsEmptyResult) {
+  power::FixedThresholdPolicy policy;
+  core::StaticScheduler sched;
+  const auto r = run_online(small_config(), example_placement(),
+                            trace::Trace{}, sched, policy);
+  EXPECT_EQ(r.total_requests, 0u);
+  EXPECT_TRUE(r.response_times.empty());
+  EXPECT_DOUBLE_EQ(r.total_energy(), 0.0);  // horizon 0: nothing accrued
+}
+
+TEST(RunnerEdges, EmptyTraceUnderBatchModel) {
+  power::FixedThresholdPolicy policy;
+  core::WscBatchScheduler sched(0.1);
+  const auto r = run_batch(small_config(), example_placement(),
+                           trace::Trace{}, sched, policy);
+  EXPECT_EQ(r.total_requests, 0u);
+}
+
+TEST(RunnerEdges, RogueOnlineSchedulerIsRejected) {
+  power::FixedThresholdPolicy policy;
+  RogueScheduler sched;
+  EXPECT_THROW(run_online(small_config(), example_placement(),
+                          single_request_trace(0), sched, policy),
+               InvariantError);
+}
+
+TEST(RunnerEdges, ShortBatchAssignmentIsRejected) {
+  power::FixedThresholdPolicy policy;
+  ShortBatchScheduler sched;
+  trace::Trace two({{1.0, 0, 4096, true}, {1.01, 1, 4096, true}});
+  EXPECT_THROW(run_batch(small_config(), example_placement(), two, sched,
+                         policy),
+               InvariantError);
+}
+
+TEST(RunnerEdges, OfflineAssignmentMismatchIsRejected) {
+  core::OfflineAssignment bad;
+  bad.disk_of_request = {0, 0};  // trace has one request
+  EXPECT_THROW(run_offline(small_config(), example_placement(),
+                           single_request_trace(0), bad, "bad"),
+               InvariantError);
+}
+
+TEST(RunnerEdges, SingleRequestRunsToCompletion) {
+  power::FixedThresholdPolicy policy;
+  core::StaticScheduler sched;
+  const auto r = run_online(small_config(), example_placement(),
+                            single_request_trace(3), sched, policy);
+  EXPECT_EQ(r.total_requests, 1u);
+  EXPECT_EQ(r.response_times.count(), 1u);
+  // The single standby disk wakes once and, after breakeven, sleeps again.
+  EXPECT_EQ(r.total_spin_ups(), 1u);
+  EXPECT_EQ(r.total_spin_downs(), 1u);
+}
+
+TEST(RunnerEdges, SimultaneousArrivalsAllServed) {
+  std::vector<trace::TraceRecord> recs;
+  for (DataId b = 0; b < 6; ++b) recs.push_back({2.0, b, 4096, true});
+  const trace::Trace t(std::move(recs));
+  power::FixedThresholdPolicy policy;
+  core::CostFunctionScheduler sched;
+  const auto r =
+      run_online(small_config(), example_placement(), t, sched, policy);
+  EXPECT_EQ(r.total_requests, 6u);
+}
+
+TEST(RunnerEdges, RepeatedDataHammerOnOneDisk) {
+  // 100 hits on the same single-replica block: FCFS on one disk, all served.
+  std::vector<trace::TraceRecord> recs;
+  for (int i = 0; i < 100; ++i) {
+    recs.push_back({1.0 + 0.001 * i, 0, 4096, true});
+  }
+  const trace::Trace t(std::move(recs));
+  power::FixedThresholdPolicy policy;
+  core::StaticScheduler sched;
+  const auto r =
+      run_online(small_config(), example_placement(), t, sched, policy);
+  EXPECT_EQ(r.total_requests, 100u);
+  EXPECT_EQ(r.disk_stats[0].requests_served, 100u);
+  EXPECT_EQ(r.total_spin_ups(), 1u);
+}
+
+TEST(RunnerEdges, HorizonCoversAllAccounting) {
+  power::FixedThresholdPolicy policy;
+  core::StaticScheduler sched;
+  const auto r = run_online(small_config(), example_placement(),
+                            single_request_trace(0), sched, policy);
+  for (const auto& ds : r.disk_stats) {
+    EXPECT_NEAR(ds.total_seconds(), r.horizon, 1e-9);
+  }
+}
+
+TEST(RunnerEdges, ResultNamesIdentifyTheConfiguration) {
+  power::FixedThresholdPolicy policy;
+  core::StaticScheduler sched;
+  const auto r = run_online(small_config(), example_placement(),
+                            single_request_trace(0), sched, policy);
+  EXPECT_EQ(r.scheduler_name, "static");
+  EXPECT_EQ(r.policy_name, "2cpm");
+}
+
+}  // namespace
+}  // namespace eas::storage

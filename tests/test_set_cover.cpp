@@ -1,0 +1,151 @@
+// Tests for greedy and exact weighted set cover, including randomized
+// cross-validation between the two solvers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/set_cover.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace eas::graph {
+namespace {
+
+SetCoverInstance simple_instance() {
+  SetCoverInstance inst;
+  inst.num_elements = 4;
+  inst.sets = {
+      {1.0, {0, 1}},
+      {1.0, {2, 3}},
+      {2.5, {0, 1, 2, 3}},
+      {0.4, {1}},
+  };
+  return inst;
+}
+
+TEST(SetCoverInstance, ValidateCatchesBadInput) {
+  SetCoverInstance inst;
+  inst.num_elements = 2;
+  inst.sets = {{1.0, {0, 2}}};
+  EXPECT_THROW(inst.validate(), InvariantError);
+  inst.sets = {{-1.0, {0}}};
+  EXPECT_THROW(inst.validate(), InvariantError);
+}
+
+TEST(SetCoverInstance, FeasibilityDetection) {
+  auto inst = simple_instance();
+  EXPECT_TRUE(inst.feasible());
+  inst.num_elements = 5;  // element 4 uncovered
+  EXPECT_FALSE(inst.feasible());
+}
+
+TEST(GreedySetCover, CoversEverythingAtReasonableCost) {
+  const auto inst = simple_instance();
+  const auto sol = greedy_weighted_set_cover(inst);
+  EXPECT_TRUE(sol.covers(inst));
+  // Optimal is {set0, set1} at 2.0; greedy must not exceed H_4 * OPT.
+  EXPECT_LE(sol.total_weight, 2.0 * (1.0 + 0.5 + 1.0 / 3 + 0.25) + 1e-9);
+}
+
+TEST(GreedySetCover, PrefersCostEffectiveSets) {
+  SetCoverInstance inst;
+  inst.num_elements = 3;
+  inst.sets = {
+      {3.0, {0, 1, 2}},  // ratio 1.0
+      {0.5, {0}},        // ratio 0.5
+      {0.5, {1}},
+      {0.5, {2}},
+  };
+  const auto sol = greedy_weighted_set_cover(inst);
+  EXPECT_TRUE(sol.covers(inst));
+  EXPECT_NEAR(sol.total_weight, 1.5, 1e-12);
+  EXPECT_EQ(sol.chosen_sets.size(), 3u);
+}
+
+TEST(GreedySetCover, ZeroWeightSetsAreFree) {
+  SetCoverInstance inst;
+  inst.num_elements = 3;
+  inst.sets = {
+      {0.0, {0, 1}},
+      {5.0, {0, 1, 2}},
+      {1.0, {2}},
+  };
+  const auto sol = greedy_weighted_set_cover(inst);
+  EXPECT_TRUE(sol.covers(inst));
+  EXPECT_NEAR(sol.total_weight, 1.0, 1e-12);
+}
+
+TEST(GreedySetCover, ThrowsOnInfeasible) {
+  SetCoverInstance inst;
+  inst.num_elements = 2;
+  inst.sets = {{1.0, {0}}};
+  EXPECT_THROW(greedy_weighted_set_cover(inst), InvariantError);
+}
+
+TEST(GreedySetCover, HandlesDuplicateElementsWithinASet) {
+  SetCoverInstance inst;
+  inst.num_elements = 2;
+  inst.sets = {{1.0, {0, 0, 1}}};
+  const auto sol = greedy_weighted_set_cover(inst);
+  EXPECT_TRUE(sol.covers(inst));
+  EXPECT_EQ(sol.chosen_sets.size(), 1u);
+}
+
+TEST(ExactSetCover, FindsTheOptimum) {
+  const auto sol = exact_set_cover(simple_instance());
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->total_weight, 2.0, 1e-12);
+}
+
+TEST(ExactSetCover, ReturnsNulloptOnInfeasible) {
+  SetCoverInstance inst;
+  inst.num_elements = 3;
+  inst.sets = {{1.0, {0, 1}}};
+  EXPECT_FALSE(exact_set_cover(inst).has_value());
+}
+
+TEST(ExactSetCover, RefusesOversizedInstances) {
+  SetCoverInstance inst;
+  inst.num_elements = 100;
+  EXPECT_THROW(exact_set_cover(inst, 24), InvariantError);
+}
+
+class RandomSetCoverTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSetCoverTest, GreedyIsFeasibleAndWithinLnNOfExact) {
+  util::Rng rng(GetParam());
+  SetCoverInstance inst;
+  inst.num_elements = 12;
+  const int num_sets = 10;
+  for (int s = 0; s < num_sets; ++s) {
+    SetCoverInstance::Set set;
+    set.weight = rng.uniform(0.1, 5.0);
+    for (std::size_t e = 0; e < inst.num_elements; ++e) {
+      if (rng.bernoulli(0.35)) set.elements.push_back(e);
+    }
+    inst.sets.push_back(std::move(set));
+  }
+  // Guarantee feasibility with one expensive universal set.
+  SetCoverInstance::Set universal;
+  universal.weight = 20.0;
+  for (std::size_t e = 0; e < inst.num_elements; ++e) {
+    universal.elements.push_back(e);
+  }
+  inst.sets.push_back(std::move(universal));
+
+  const auto greedy = greedy_weighted_set_cover(inst);
+  const auto exact = exact_set_cover(inst);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_TRUE(greedy.covers(inst));
+  EXPECT_TRUE(exact->covers(inst));
+  EXPECT_GE(greedy.total_weight, exact->total_weight - 1e-9);
+  // H_12 ~ 3.10: the classic approximation guarantee.
+  const double h12 = 3.1032;
+  EXPECT_LE(greedy.total_weight, exact->total_weight * h12 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSetCoverTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace eas::graph

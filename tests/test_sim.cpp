@@ -1,0 +1,168 @@
+// Unit tests for the discrete-event kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+
+namespace eas::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZeroWithEmptyQueue) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending_count(), 0u);
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, FiresEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, TiesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule_at(7.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+}
+
+TEST(Simulator, ScheduleInUsesRelativeDelay) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule_at(2.0, [&] {
+    sim.schedule_in(3.0, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(10.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5.0, [] {}), InvariantError);
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), InvariantError);
+}
+
+TEST(Simulator, NonFiniteTimeThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(kTimeInfinity, [] {}), InvariantError);
+}
+
+TEST(Simulator, NullCallbackThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(1.0, Simulator::Callback{}), InvariantError);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.pending(h));
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.pending(h));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelIsIdempotentAndNullSafe) {
+  Simulator sim;
+  EventHandle h = sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(EventHandle{}));
+}
+
+TEST(Simulator, CancelledEventsDoNotCountAsPending) {
+  Simulator sim;
+  EventHandle h = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending_count(), 2u);
+  sim.cancel(h);
+  EXPECT_EQ(sim.pending_count(), 1u);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  EXPECT_EQ(sim.run(), 100u);
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 99.0);
+}
+
+TEST(Simulator, EventsCanCancelOtherEvents) {
+  Simulator sim;
+  bool victim_fired = false;
+  EventHandle victim = sim.schedule_at(2.0, [&] { victim_fired = true; });
+  sim.schedule_at(1.0, [&] { sim.cancel(victim); });
+  sim.run();
+  EXPECT_FALSE(victim_fired);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(t, [&fired, t] { fired.push_back(t); });
+  }
+  EXPECT_EQ(sim.run_until(2.0), 2u);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.run(), 2u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  EXPECT_EQ(sim.run_until(42.0), 0u);
+  EXPECT_DOUBLE_EQ(sim.now(), 42.0);
+}
+
+TEST(Simulator, NextEventTimeReflectsLiveEvents) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.next_event_time(), kTimeInfinity);
+  EventHandle h = sim.schedule_at(5.0, [] {});
+  sim.schedule_at(9.0, [] {});
+  EXPECT_DOUBLE_EQ(sim.next_event_time(), 5.0);
+  sim.cancel(h);
+  EXPECT_DOUBLE_EQ(sim.next_event_time(), 9.0);
+}
+
+TEST(Simulator, EventsFiredAccumulates) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  for (int i = 5; i < 8; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_fired(), 8u);
+}
+
+}  // namespace
+}  // namespace eas::sim

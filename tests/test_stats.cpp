@@ -1,0 +1,171 @@
+// Tests for summary statistics, sample stores and the log histogram.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace eas::stats {
+namespace {
+
+TEST(SummaryStats, EmptyIsAllZero) {
+  SummaryStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(SummaryStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  SummaryStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 6.2);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+  double var = 0.0;
+  for (double x : xs) var += (x - 6.2) * (x - 6.2);
+  var /= xs.size() - 1;
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+}
+
+TEST(SummaryStats, MergeEqualsSequentialFeed) {
+  util::Rng rng(5);
+  SummaryStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(SummaryStats, MergeWithEmptyIsIdentity) {
+  SummaryStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  SummaryStats b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(SummaryStats, NumericallyStableOnLargeOffsets) {
+  SummaryStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.variance(), 0.2502, 0.01);
+}
+
+TEST(SampleStore, QuantilesInterpolate) {
+  SampleStore s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0 / 3.0), 2.0);
+}
+
+TEST(SampleStore, QuantileOfSingleSample) {
+  SampleStore s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.median(), 7.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 7.0);
+}
+
+TEST(SampleStore, QuantileOnEmptyThrows) {
+  SampleStore s;
+  EXPECT_THROW(s.quantile(0.5), InvariantError);
+}
+
+TEST(SampleStore, FractionAboveIsExclusive) {
+  SampleStore s;
+  for (double x : {1.0, 2.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.fraction_above(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(s.fraction_above(2.0), 0.25);  // strictly greater
+  EXPECT_DOUBLE_EQ(s.fraction_above(3.0), 0.0);
+  SampleStore empty;
+  EXPECT_DOUBLE_EQ(empty.fraction_above(1.0), 0.0);
+}
+
+TEST(SampleStore, SortedIsAscendingAndStableAcrossCalls) {
+  SampleStore s;
+  for (double x : {3.0, 1.0, 2.0}) s.add(x);
+  const auto& first = s.sorted();
+  EXPECT_EQ(first, (std::vector<double>{1.0, 2.0, 3.0}));
+  s.add(0.5);
+  EXPECT_EQ(s.sorted().front(), 0.5);
+}
+
+TEST(SampleStore, MeanMatchesSum) {
+  SampleStore s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(Histogram, CountsLandInTheRightBins) {
+  Histogram h(0.001, 100.0, 10);
+  h.add(0.005);
+  h.add(50.0);
+  EXPECT_EQ(h.total_count(), 2u);
+  // Find the two non-empty bins and verify their ranges.
+  int nonempty = 0;
+  for (std::size_t b = 0; b < h.num_bins(); ++b) {
+    if (h.bin_count(b) == 0) continue;
+    ++nonempty;
+    const double lo = h.bin_lower(b);
+    const double hi = h.bin_upper(b);
+    EXPECT_TRUE((lo <= 0.005 && 0.005 < hi) || (lo <= 50.0 && 50.0 < hi));
+  }
+  EXPECT_EQ(nonempty, 2);
+}
+
+TEST(Histogram, ClampsOutOfRangeInsteadOfDropping) {
+  Histogram h(0.01, 1.0, 5);
+  h.add(1e-9);
+  h.add(1e9);
+  h.add(0.0);
+  h.add(-5.0);
+  EXPECT_EQ(h.total_count(), 4u);
+  EXPECT_GE(h.bin_count(0), 3u);
+  EXPECT_EQ(h.bin_count(h.num_bins() - 1), 1u);
+}
+
+TEST(Histogram, QuantileEstimateIsInTheRightDecade) {
+  Histogram h(1e-4, 1e2, 10);
+  util::Rng rng(3);
+  for (int i = 0; i < 10000; ++i) h.add(rng.uniform(0.9, 1.1));
+  const double q = h.quantile_estimate(0.5);
+  EXPECT_GT(q, 0.5);
+  EXPECT_LT(q, 2.0);
+}
+
+TEST(Histogram, GeometricMidpointBetweenEdges) {
+  Histogram h(1.0, 100.0, 1);
+  EXPECT_NEAR(h.bin_mid(0), std::sqrt(h.bin_lower(0) * h.bin_upper(0)), 1e-12);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0), InvariantError);
+  EXPECT_THROW(Histogram(2.0, 1.0), InvariantError);
+  EXPECT_THROW(Histogram(1.0, 10.0, 0), InvariantError);
+}
+
+TEST(Histogram, EmptyQuantileThrows) {
+  Histogram h(0.01, 1.0);
+  EXPECT_THROW(h.quantile_estimate(0.5), InvariantError);
+}
+
+}  // namespace
+}  // namespace eas::stats

@@ -1,0 +1,127 @@
+// Tests for the string utilities and the table formatter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace eas::util {
+namespace {
+
+TEST(Split, PreservesEmptyFields) {
+  const auto fields = split("a,,b", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  const auto fields = split("", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(Split, TrailingDelimiterYieldsTrailingEmpty) {
+  const auto fields = split("x,y,", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[2], "");
+}
+
+TEST(Split, NoDelimiterYieldsWhole) {
+  const auto fields = split("hello", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "hello");
+}
+
+TEST(Trim, RemovesSurroundingWhitespaceOnly) {
+  EXPECT_EQ(trim("  a b \t\n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(ParseDouble, AcceptsPlainAndScientific) {
+  EXPECT_DOUBLE_EQ(*parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-0.25"), -0.25);
+  EXPECT_DOUBLE_EQ(*parse_double("1e3"), 1000.0);
+  EXPECT_DOUBLE_EQ(*parse_double(" 42 "), 42.0);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("1.5x").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("1.5 2.0").has_value());
+}
+
+TEST(ParseInt, AcceptsSignedIntegers) {
+  EXPECT_EQ(*parse_int("123"), 123);
+  EXPECT_EQ(*parse_int("-9"), -9);
+  EXPECT_EQ(*parse_int(" 7 "), 7);
+}
+
+TEST(ParseInt, RejectsFloatsAndGarbage) {
+  EXPECT_FALSE(parse_int("1.5").has_value());
+  EXPECT_FALSE(parse_int("x").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+}
+
+TEST(IStartsWith, IsCaseInsensitive) {
+  EXPECT_TRUE(istarts_with("Hello World", "hello"));
+  EXPECT_TRUE(istarts_with("ABC", "ABC"));
+  EXPECT_FALSE(istarts_with("AB", "ABC"));
+  EXPECT_FALSE(istarts_with("xyz", "ab"));
+}
+
+TEST(ToLower, LowersAsciiOnly) {
+  EXPECT_EQ(to_lower("AbC-12"), "abc-12");
+}
+
+TEST(Table, AlignsColumnsAndUnderlinesHeader) {
+  Table t({"name", "v"});
+  t.row().cell("long-name").cell(1);
+  t.row().cell("x").cell(12345);
+  const std::string s = t.to_string();
+  std::istringstream is(s);
+  std::string header, underline, row1, row2;
+  std::getline(is, header);
+  std::getline(is, underline);
+  std::getline(is, row1);
+  std::getline(is, row2);
+  EXPECT_EQ(header.find("name"), 0u);
+  EXPECT_EQ(underline.find_first_not_of('-'), std::string::npos);
+  // Both value cells start at the same column.
+  EXPECT_EQ(row1.find('1'), row2.find('1'));
+}
+
+TEST(Table, FormatsDoublesWithRequestedPrecision) {
+  Table t({"x"});
+  t.row().cell(3.14159, 2);
+  EXPECT_NE(t.to_string().find("3.14"), std::string::npos);
+  EXPECT_EQ(t.to_string().find("3.142"), std::string::npos);
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"only"});
+  t.row().cell("a");
+  EXPECT_THROW(t.cell("b"), InvariantError);
+}
+
+TEST(Table, RejectsCellBeforeRow) {
+  Table t({"h"});
+  EXPECT_THROW(t.cell("x"), InvariantError);
+}
+
+TEST(Table, CountsRows) {
+  Table t({"h"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.row().cell("a");
+  t.row().cell("b");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace eas::util

@@ -1,0 +1,260 @@
+// Tests for traces, parsers and the calibrated synthetic generators.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/parsers.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace.hpp"
+#include "util/check.hpp"
+
+namespace eas::trace {
+namespace {
+
+TEST(Trace, SortsRecordsByTime) {
+  Trace t({{3.0, 0, 1, true}, {1.0, 1, 1, true}, {2.0, 2, 1, true}});
+  EXPECT_DOUBLE_EQ(t[0].time, 1.0);
+  EXPECT_DOUBLE_EQ(t[2].time, 3.0);
+  EXPECT_DOUBLE_EQ(t.duration(), 2.0);
+}
+
+TEST(Trace, SortIsStableForEqualTimes) {
+  Trace t({{1.0, 10, 1, true}, {1.0, 20, 1, true}, {1.0, 30, 1, true}});
+  EXPECT_EQ(t[0].data, 10u);
+  EXPECT_EQ(t[1].data, 20u);
+  EXPECT_EQ(t[2].data, 30u);
+}
+
+TEST(Trace, RejectsNegativeTimes) {
+  EXPECT_THROW(Trace({{-1.0, 0, 1, true}}), InvariantError);
+}
+
+TEST(Trace, ReadsOnlyDropsWrites) {
+  Trace t({{1.0, 0, 1, true}, {2.0, 1, 1, false}, {3.0, 2, 1, true}});
+  const auto reads = t.reads_only();
+  EXPECT_EQ(reads.size(), 2u);
+  for (const auto& r : reads.records()) EXPECT_TRUE(r.is_read);
+}
+
+TEST(Trace, PrefixAndRebase) {
+  Trace t({{5.0, 0, 1, true}, {6.0, 1, 1, true}, {9.0, 2, 1, true}});
+  const auto p = t.prefix(2);
+  EXPECT_EQ(p.size(), 2u);
+  const auto r = p.rebased();
+  EXPECT_DOUBLE_EQ(r.start_time(), 0.0);
+  EXPECT_DOUBLE_EQ(r.end_time(), 1.0);
+}
+
+TEST(Trace, PrefixLargerThanSizeIsWholeTrace) {
+  Trace t({{1.0, 0, 1, true}});
+  EXPECT_EQ(t.prefix(100).size(), 1u);
+}
+
+TEST(Trace, DensifyRemapsInFirstAppearanceOrder) {
+  Trace t({{1.0, 500, 1, true}, {2.0, 7, 1, true}, {3.0, 500, 1, true}});
+  const auto d = t.densified();
+  EXPECT_EQ(d[0].data, 0u);
+  EXPECT_EQ(d[1].data, 1u);
+  EXPECT_EQ(d[2].data, 0u);
+  EXPECT_EQ(d.data_universe_size(), 2u);
+}
+
+TEST(Trace, StatsCountDistinctDataAndRates) {
+  Trace t({{0.0, 0, 1, true}, {1.0, 0, 1, true}, {2.0, 1, 1, true}});
+  const auto s = t.compute_stats();
+  EXPECT_EQ(s.num_records, 3u);
+  EXPECT_EQ(s.num_distinct_data, 2u);
+  EXPECT_DOUBLE_EQ(s.duration_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(s.mean_interarrival, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean_rate, 1.5);
+}
+
+// ---------------------------------------------------------------- parsers
+
+TEST(SpcParser, ParsesFinancialFormatAndDensifies) {
+  std::istringstream in(
+      "0,1234,4096,r,0.5\n"
+      "0,5678,8192,W,1.0\n"
+      "1,1234,4096,R,2.0\n");
+  ParseReport report;
+  ParseOptions opts;
+  opts.reads_only = false;
+  const auto t = parse_spc(in, opts, &report);
+  EXPECT_EQ(report.parsed, 3u);
+  EXPECT_EQ(t.size(), 3u);
+  // (ASU 0, LBA 1234) and (ASU 1, LBA 1234) must be distinct data.
+  EXPECT_NE(t[0].data, t[2].data);
+  EXPECT_FALSE(t[1].is_read);
+  EXPECT_EQ(t[1].size_bytes, 8192u);
+  EXPECT_DOUBLE_EQ(t.start_time(), 0.0);  // rebased
+}
+
+TEST(SpcParser, ReadsOnlyFiltersWrites) {
+  std::istringstream in(
+      "0,1,512,r,0.0\n"
+      "0,2,512,w,1.0\n");
+  ParseReport report;
+  const auto t = parse_spc(in, {}, &report);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(report.skipped_writes, 1u);
+}
+
+TEST(SpcParser, StrictModeThrowsWithLineNumber) {
+  std::istringstream in(
+      "0,1,512,r,0.0\n"
+      "garbage line\n");
+  try {
+    parse_spc(in, {});
+    FAIL() << "expected TraceParseError";
+  } catch (const TraceParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(SpcParser, LenientModeSkipsAndCounts) {
+  std::istringstream in(
+      "0,1,512,r,0.0\n"
+      "bogus\n"
+      "0,2,512,r,1.0\n");
+  ParseOptions opts;
+  opts.lenient = true;
+  ParseReport report;
+  const auto t = parse_spc(in, opts, &report);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(report.skipped_malformed, 1u);
+}
+
+TEST(SpcParser, HonoursMaxRecordsAndTimeScale) {
+  std::istringstream in(
+      "0,1,512,r,1000\n"
+      "0,2,512,r,2000\n"
+      "0,3,512,r,3000\n");
+  ParseOptions opts;
+  opts.max_records = 2;
+  opts.time_scale = 1e-3;  // ms -> s
+  const auto t = parse_spc(in, opts);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.duration(), 1.0);
+}
+
+TEST(SpcParser, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# header comment\n"
+      "\n"
+      "0,1,512,r,0.0\n");
+  EXPECT_EQ(parse_spc(in, {}).size(), 1u);
+}
+
+TEST(CelloParser, ParsesWhitespaceFormat) {
+  std::istringstream in(
+      "0.25  3  8800  2048  r\n"
+      "0.50  3  8800  2048  w\n"
+      "0.75  4  8800  2048  r\n");
+  ParseOptions opts;
+  opts.reads_only = false;
+  const auto t = parse_cello_text(in, opts);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].data, t[1].data);  // same device+block
+  EXPECT_NE(t[0].data, t[2].data);  // different device
+}
+
+TEST(CelloParser, RejectsShortLines) {
+  std::istringstream in("0.25 3 8800\n");
+  EXPECT_THROW(parse_cello_text(in, {}), TraceParseError);
+}
+
+TEST(CsvRoundTrip, WriteThenParseIsIdentity) {
+  Trace original({{0.0, 3, 4096, true},
+                  {1.5, 9, 512, true},
+                  {2.25, 3, 1024, true}});
+  std::ostringstream out;
+  write_csv(out, original);
+  std::istringstream in(out.str());
+  const auto parsed = parse_csv(in, {});
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed[i].time, original[i].time);
+    EXPECT_EQ(parsed[i].data, original[i].data);
+    EXPECT_EQ(parsed[i].size_bytes, original[i].size_bytes);
+  }
+}
+
+TEST(CsvParser, RequiresHeader) {
+  std::istringstream in("0.0,1,512,r\n");
+  EXPECT_THROW(parse_csv(in, {}), TraceParseError);
+}
+
+// ------------------------------------------------------------- synthetic
+
+TEST(Synthetic, ProducesRequestedScale) {
+  SyntheticTraceConfig cfg;
+  cfg.num_requests = 5000;
+  cfg.num_data = 1000;
+  const auto t = make_synthetic_trace(cfg);
+  EXPECT_EQ(t.size(), 5000u);
+  const auto s = t.compute_stats();
+  EXPECT_GT(s.num_distinct_data, 500u);
+  EXPECT_LE(t.data_universe_size(), 1000u);
+  for (const auto& r : t.records()) EXPECT_TRUE(r.is_read);
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  SyntheticTraceConfig cfg;
+  cfg.num_requests = 1000;
+  cfg.seed = 9;
+  const auto a = make_synthetic_trace(cfg);
+  const auto b = make_synthetic_trace(cfg);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].data, b[i].data);
+  }
+}
+
+TEST(Synthetic, MeanRateIsRespected) {
+  SyntheticTraceConfig cfg;
+  cfg.num_requests = 40000;
+  cfg.mean_rate = 25.0;
+  cfg.burst_rate_multiplier = 10.0;
+  cfg.burst_time_fraction = 0.1;
+  const auto s = make_synthetic_trace(cfg).compute_stats();
+  EXPECT_NEAR(s.mean_rate, 25.0, 5.0);
+}
+
+TEST(Synthetic, PlainPoissonHasUnitCv) {
+  SyntheticTraceConfig cfg;
+  cfg.num_requests = 40000;
+  cfg.burst_rate_multiplier = 1.0;  // degenerate MMPP == Poisson
+  const auto s = make_synthetic_trace(cfg).compute_stats();
+  EXPECT_NEAR(s.interarrival_cv, 1.0, 0.05);
+}
+
+TEST(Synthetic, CelloIsBurstierThanFinancial) {
+  // The load-bearing property from §A.4: Cello's interarrival CV is far
+  // above Financial1's, which itself stays near Poisson.
+  const auto cello = make_cello_like(1).prefix(40000).compute_stats();
+  const auto financial = make_financial_like(1).prefix(40000).compute_stats();
+  EXPECT_GT(cello.interarrival_cv, 2.0);
+  EXPECT_LT(financial.interarrival_cv, 1.5);
+  EXPECT_GT(cello.interarrival_cv, financial.interarrival_cv * 1.5);
+}
+
+TEST(Synthetic, PopularityIsZipfSkewed) {
+  const auto s = make_cello_like(1).prefix(40000).compute_stats();
+  // Top 1% of data items should draw a disproportionate share of accesses.
+  EXPECT_GT(s.top1pct_access_share, 0.15);
+}
+
+TEST(Synthetic, ValidatesConfig) {
+  SyntheticTraceConfig cfg;
+  cfg.mean_rate = 0.0;
+  EXPECT_THROW(make_synthetic_trace(cfg), InvariantError);
+  cfg = {};
+  cfg.burst_rate_multiplier = 0.5;
+  EXPECT_THROW(make_synthetic_trace(cfg), InvariantError);
+  cfg = {};
+  cfg.burst_time_fraction = 1.0;
+  EXPECT_THROW(make_synthetic_trace(cfg), InvariantError);
+}
+
+}  // namespace
+}  // namespace eas::trace

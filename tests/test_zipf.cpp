@@ -1,0 +1,81 @@
+// Tests for the Zipf sampler that drives data placement and popularity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace eas::util {
+namespace {
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  for (double z : {0.0, 0.5, 1.0, 2.0}) {
+    ZipfSampler zipf(100, z);
+    double total = 0.0;
+    for (std::size_t r = 0; r < 100; ++r) total += zipf.pmf(r);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "z=" << z;
+  }
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniform) {
+  ZipfSampler zipf(50, 0.0);
+  for (std::size_t r = 0; r < 50; ++r) {
+    EXPECT_NEAR(zipf.pmf(r), 1.0 / 50.0, 1e-12);
+  }
+}
+
+TEST(ZipfSampler, ClassicZipfRatioBetweenRanks) {
+  // With z = 1, p(rank 1) / p(rank 10) = 10.
+  ZipfSampler zipf(1000, 1.0);
+  EXPECT_NEAR(zipf.pmf(0) / zipf.pmf(9), 10.0, 1e-9);
+}
+
+TEST(ZipfSampler, PmfIsMonotoneNonIncreasing) {
+  ZipfSampler zipf(200, 0.8);
+  for (std::size_t r = 1; r < 200; ++r) {
+    EXPECT_LE(zipf.pmf(r), zipf.pmf(r - 1) + 1e-15);
+  }
+}
+
+TEST(ZipfSampler, SampleFrequenciesMatchPmf) {
+  ZipfSampler zipf(20, 1.0);
+  Rng rng(7);
+  std::vector<int> counts(20, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t r = 0; r < 20; ++r) {
+    const double expected = zipf.pmf(r) * n;
+    EXPECT_NEAR(counts[r], expected, 5.0 * std::sqrt(expected) + 5.0)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfSampler, SingleRankAlwaysSamplesZero) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(zipf.pmf(0), 1.0);
+}
+
+TEST(ZipfSampler, RejectsDegenerateArguments) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), InvariantError);
+  EXPECT_THROW(ZipfSampler(10, -0.1), InvariantError);
+}
+
+TEST(ZipfSampler, HighSkewConcentratesOnHeadRanks) {
+  ZipfSampler zipf(10000, 1.2);
+  Rng rng(3);
+  int in_top_100 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.sample(rng) < 100) ++in_top_100;
+  }
+  // 1% of ranks should draw well over a third of the mass at z=1.2.
+  EXPECT_GT(in_top_100 / static_cast<double>(n), 0.35);
+}
+
+}  // namespace
+}  // namespace eas::util
