@@ -4,38 +4,47 @@
 // trade-off at rf = 3 on the Cello workload.
 #include <iostream>
 
-#include "common/experiment.hpp"
-#include "util/table.hpp"
+#include "runner/emit.hpp"
+#include "runner/sweep.hpp"
 
 using namespace eas;
 
 int main() {
-  bench::ExperimentParams params;
-  params.workload = bench::Workload::kCello;
-  params.num_requests = bench::requests_from_env(30000);
-  params.replication_factor = 3;
-  const auto trace = bench::make_workload(params.workload, params.trace_seed,
-                                          params.num_requests);
-  const auto placement = bench::make_placement(params);
-  const auto power = bench::paper_system_config().power;
-  std::cerr << "# " << bench::describe(params) << "\n";
+  const auto base = runner::ExperimentBuilder(runner::Workload::kCello)
+                        .requests(runner::requests_from_env(30000))
+                        .replication(3)
+                        .build();
+  const auto power = runner::paper_system_config().power;
+  std::cerr << "# " << runner::describe(base) << "\n";
 
-  std::cout << "=== Ablation: WSC batch interval, rf=3 (Cello) ===\n";
-  util::Table t({"interval_s", "norm_energy", "mean_resp_s", "p90_resp_ms",
-                 "spin_up+down"});
-  for (double interval : {0.01, 0.05, 0.1, 0.5, 1.0, 5.0}) {
-    bench::ExperimentParams p = params;
-    p.batch_interval = interval;
-    const auto r = bench::run_wsc(p, trace, placement);
+  const double intervals[] = {0.01, 0.05, 0.1, 0.5, 1.0, 5.0};
+  std::vector<runner::CellSpec> cells;
+  for (double interval : intervals) {
+    runner::CellSpec cell;
+    cell.scheduler = "wsc";
+    cell.params = runner::ExperimentBuilder(base).batch_interval(interval).build();
+    cell.tag = std::to_string(interval);
+    cells.push_back(std::move(cell));
+  }
+
+  runner::SweepOptions opts;
+  opts.progress = &std::cerr;
+  const auto results = runner::SweepRunner(opts).run(std::move(cells));
+
+  runner::ResultTable t("Ablation: WSC batch interval, rf=3 (Cello)",
+                        {"interval_s", "norm_energy", "mean_resp_s",
+                         "p90_resp_ms", "spin_up+down"});
+  for (const auto& cell : results) {
+    const auto& r = cell.result;
     t.row()
-        .cell(interval)
+        .cell(cell.spec.params.batch_interval)
         .cell(r.normalized_energy(power))
         .cell(r.mean_response(), 4)
         .cell(r.response_times.p90() * 1e3, 1)
         .cell(static_cast<unsigned long long>(r.total_spin_ups() +
                                               r.total_spin_downs()));
   }
-  t.print(std::cout);
+  t.emit(std::cout, runner::emit_format_from_env());
   std::cout << "\nExpected shape: p90 response grows with the interval "
                "(queueing floor ~ interval); energy improves modestly as "
                "batches grow, then saturates.\n";

@@ -2,30 +2,28 @@
 // response-time gap (~1 s vs ~300 ms) to interarrival burstiness. This
 // bench sweeps the MMPP burst multiplier at a fixed mean rate and shows how
 // interarrival CV drives mean response while the energy ranking stays put.
+// Each multiplier's synthetic trace is built once up front and shared (as
+// an immutable CellSpec input) by its static and heuristic cells.
 #include <iostream>
 
-#include "common/experiment.hpp"
-#include "core/basic_schedulers.hpp"
-#include "core/cost_scheduler.hpp"
-#include "power/fixed_threshold.hpp"
+#include "runner/emit.hpp"
+#include "runner/sweep.hpp"
 #include "trace/synthetic.hpp"
-#include "util/table.hpp"
 
 using namespace eas;
 
 int main() {
-  bench::ExperimentParams params;
-  params.replication_factor = 3;
-  params.num_requests = bench::requests_from_env(30000);
-  const auto placement = bench::make_placement(params);
-  const auto cfg = bench::paper_system_config();
-  std::cerr << "# burstiness sweep, " << bench::describe(params) << "\n";
+  const auto params = runner::ExperimentBuilder(runner::Workload::kCello)
+                          .requests(runner::requests_from_env(30000))
+                          .replication(3)
+                          .build();
+  const auto power = runner::paper_system_config().power;
+  std::cerr << "# burstiness sweep, " << runner::describe(params) << "\n";
 
-  std::cout << "=== Ablation: arrival burstiness (MMPP multiplier), rf=3 "
-               "===\n";
-  util::Table t({"multiplier", "interarrival_cv", "static_energy",
-                 "heuristic_energy", "static_resp_s", "heuristic_resp_s"});
-  for (double mult : {1.0, 3.0, 10.0, 30.0, 60.0, 100.0}) {
+  const double mults[] = {1.0, 3.0, 10.0, 30.0, 60.0, 100.0};
+  std::vector<double> cvs;
+  std::vector<runner::CellSpec> cells;
+  for (double mult : mults) {
     trace::SyntheticTraceConfig tc;
     tc.num_requests = params.num_requests;
     tc.num_data = 32768;
@@ -33,24 +31,41 @@ int main() {
     tc.burst_rate_multiplier = mult;
     tc.burst_time_fraction = mult > 1.0 ? 0.04 : 0.0;
     tc.mean_burst_seconds = 2.0;
-    const auto trace = trace::make_synthetic_trace(tc);
-    const auto cv = trace.compute_stats().interarrival_cv;
+    auto shared_trace =
+        std::make_shared<const trace::Trace>(trace::make_synthetic_trace(tc));
+    cvs.push_back(shared_trace->compute_stats().interarrival_cv);
 
-    core::StaticScheduler static_sched;
-    core::CostFunctionScheduler heur(params.cost);
-    power::FixedThresholdPolicy p1, p2;
-    const auto rs =
-        storage::run_online(cfg, placement, trace, static_sched, p1);
-    const auto rh = storage::run_online(cfg, placement, trace, heur, p2);
+    for (const char* sched : {"static", "heuristic"}) {
+      runner::CellSpec cell;
+      cell.scheduler = sched;
+      cell.params = params;
+      cell.tag = std::to_string(static_cast<int>(mult));
+      cell.trace = shared_trace;
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  runner::SweepOptions opts;
+  opts.progress = &std::cerr;
+  const auto results = runner::SweepRunner(opts).run(std::move(cells));
+
+  runner::ResultTable t(
+      "Ablation: arrival burstiness (MMPP multiplier), rf=3",
+      {"multiplier", "interarrival_cv", "static_energy", "heuristic_energy",
+       "static_resp_s", "heuristic_resp_s"});
+  for (std::size_t m = 0; m < std::size(mults); ++m) {
+    const auto tag = std::to_string(static_cast<int>(mults[m]));
+    const auto& rs = runner::find_cell(results, tag, "static").result;
+    const auto& rh = runner::find_cell(results, tag, "heuristic").result;
     t.row()
-        .cell(mult, 0)
-        .cell(cv, 2)
-        .cell(rs.normalized_energy(cfg.power))
-        .cell(rh.normalized_energy(cfg.power))
+        .cell(mults[m], 0)
+        .cell(cvs[m], 2)
+        .cell(rs.normalized_energy(power))
+        .cell(rh.normalized_energy(power))
         .cell(rs.mean_response(), 4)
         .cell(rh.mean_response(), 4);
   }
-  t.print(std::cout);
+  t.emit(std::cout, runner::emit_format_from_env());
   std::cout << "\nExpected shape: response time rises steeply with CV "
                "(queueing during bursts + spin-up tails); the heuristic's "
                "energy advantage over Static persists at every burstiness "

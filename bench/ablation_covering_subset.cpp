@@ -2,64 +2,82 @@
 // ([16]/[14], cited in §1 as complementary). A minimum disk subset covering
 // all data is pinned always-on; everything else runs 2CPM. Measures the
 // energy premium of the availability guarantee and the latency it buys,
-// across replication factors.
+// across replication factors. The covering rows need a policy built from
+// the placement, which the registry factories cannot see at roster-build
+// time — so they use CellSpec::run.
 #include <iostream>
 
-#include "common/experiment.hpp"
 #include "core/cost_scheduler.hpp"
 #include "power/covering_subset.hpp"
 #include "power/fixed_threshold.hpp"
-#include "util/table.hpp"
+#include "runner/emit.hpp"
+#include "runner/sweep.hpp"
 
 using namespace eas;
 
 int main() {
-  bench::ExperimentParams params;
-  params.num_requests = bench::requests_from_env(30000);
-  const auto trace = bench::make_workload(params.workload, params.trace_seed,
-                                          params.num_requests);
-  auto cfg = bench::paper_system_config();
-  cfg.initial_state = disk::DiskState::Idle;  // covering disks boot first
-  std::cerr << "# covering-subset ablation, " << bench::describe(params)
+  const auto base =
+      runner::ExperimentBuilder(runner::Workload::kCello)
+          .requests(runner::requests_from_env(30000))
+          .initial_state(disk::DiskState::Idle)  // covering disks boot first
+          .build();
+  const auto power = runner::paper_system_config().power;
+  std::cerr << "# covering-subset ablation, " << runner::describe(base)
             << "\n";
 
-  std::cout << "=== Ablation: 2CPM vs covering-subset pinning (heuristic "
-               "scheduler) ===\n";
-  util::Table t({"rf", "policy", "pinned", "norm_energy", "mean_resp_s",
-                 "p99_resp_ms", "waited_spinup"});
+  std::vector<runner::CellSpec> cells;
   for (unsigned rf : {1u, 3u, 5u}) {
-    bench::ExperimentParams p = params;
-    p.replication_factor = rf;
-    const auto placement = bench::make_placement(p);
-
+    const auto p = runner::ExperimentBuilder(base).replication(rf).build();
     {
-      core::CostFunctionScheduler sched(p.cost);
-      power::FixedThresholdPolicy policy;
-      const auto r = storage::run_online(cfg, placement, trace, sched, policy);
-      t.row()
-          .cell(static_cast<int>(rf))
-          .cell("2cpm")
-          .cell(0)
-          .cell(r.normalized_energy(cfg.power))
-          .cell(r.mean_response(), 4)
-          .cell(r.response_times.p99() * 1e3, 1)
-          .cell(static_cast<unsigned long long>(r.requests_waited_spinup));
+      runner::CellSpec cell;
+      cell.scheduler = "heuristic";
+      cell.params = p;
+      cell.tag = "2cpm/" + std::to_string(rf);
+      cells.push_back(std::move(cell));
     }
     {
-      core::CostFunctionScheduler sched(p.cost);
-      power::CoveringSubsetPolicy policy(placement);
-      const auto r = storage::run_online(cfg, placement, trace, sched, policy);
-      t.row()
-          .cell(static_cast<int>(rf))
-          .cell("covering+2cpm")
-          .cell(static_cast<std::size_t>(policy.covering_size()))
-          .cell(r.normalized_energy(cfg.power))
-          .cell(r.mean_response(), 4)
-          .cell(r.response_times.p99() * 1e3, 1)
-          .cell(static_cast<unsigned long long>(r.requests_waited_spinup));
+      runner::CellSpec cell;
+      cell.params = p;
+      cell.tag = "covering/" + std::to_string(rf);
+      cell.run = [](const runner::ExperimentParams& cp,
+                    const trace::Trace& trace,
+                    const placement::PlacementMap& placement) {
+        const auto config = runner::system_config_for(cp);
+        core::CostFunctionScheduler sched(cp.cost);
+        power::CoveringSubsetPolicy policy(placement);
+        return storage::run_online(config, placement, trace, sched, policy);
+      };
+      cells.push_back(std::move(cell));
     }
   }
-  t.print(std::cout);
+
+  runner::SweepOptions opts;
+  opts.progress = &std::cerr;
+  const auto results = runner::SweepRunner(opts).run(std::move(cells));
+
+  runner::ResultTable t(
+      "Ablation: 2CPM vs covering-subset pinning (heuristic scheduler)",
+      {"rf", "policy", "pinned", "norm_energy", "mean_resp_s", "p99_resp_ms",
+       "waited_spinup"});
+  for (const auto& cell : results) {
+    const auto& r = cell.result;
+    const bool covering = cell.spec.tag.rfind("covering/", 0) == 0;
+    // covering_size is a pure function of the placement; rebuild the policy
+    // here rather than smuggling a side channel out of the cell.
+    const std::size_t pinned =
+        covering ? power::CoveringSubsetPolicy(*cell.spec.placement)
+                       .covering_size()
+                 : 0;
+    t.row()
+        .cell(static_cast<int>(cell.spec.params.replication_factor))
+        .cell(covering ? "covering+2cpm" : "2cpm")
+        .cell(pinned)
+        .cell(r.normalized_energy(power))
+        .cell(r.mean_response(), 4)
+        .cell(r.response_times.p99() * 1e3, 1)
+        .cell(static_cast<unsigned long long>(r.requests_waited_spinup));
+  }
+  t.emit(std::cout, runner::emit_format_from_env());
   std::cout << "\nExpected shape: pinning shrinks spin-up waits toward zero "
                "and cuts tail latency; the energy premium falls as rf grows "
                "(a higher rf needs fewer pinned disks per data item, and the "

@@ -9,10 +9,10 @@
 #include "core/offline_eval.hpp"
 #include "graph/set_cover.hpp"
 #include "placement/placement.hpp"
+#include "runner/emit.hpp"
 #include "stats/summary.hpp"
 #include "trace/trace.hpp"
 #include "util/rng.hpp"
-#include "util/table.hpp"
 
 using namespace eas;
 
@@ -64,14 +64,15 @@ int main() {
       ratio.add(r);
       if (r < 1.0 + 1e-9) ++optimal_hits;
     }
-    std::cout << "=== Ablation: greedy vs exact weighted set cover ("
-              << kRounds << " random batch instances) ===\n";
-    util::Table t({"metric", "value"});
+    runner::ResultTable t("Ablation: greedy vs exact weighted set cover (" +
+                              std::to_string(kRounds) +
+                              " random batch instances)",
+                          {"metric", "value"});
     t.row().cell("mean weight ratio (greedy/opt)").cell(ratio.mean(), 4);
     t.row().cell("max weight ratio").cell(ratio.max(), 4);
     t.row().cell("instances solved optimally").cell(
         std::to_string(optimal_hits) + " / " + std::to_string(kRounds));
-    t.print(std::cout);
+    t.emit(std::cout, runner::emit_format_from_env());
     std::cout << "\n";
   }
 
@@ -144,11 +145,11 @@ int main() {
         if (r < 1.0 + 1e-9) ++hits[v];
       }
     }
-    std::cout << "=== Ablation: greedy MWIS variants vs exact, offline "
-                 "scheduling energy (" << rounds_used
-              << " random instances) ===\n";
-    util::Table t({"variant", "mean energy ratio", "max energy ratio",
-                   "optimal instances"});
+    runner::ResultTable t(
+        "Ablation: greedy MWIS variants vs exact, offline scheduling energy "
+        "(" + std::to_string(rounds_used) + " random instances)",
+        {"variant", "mean energy ratio", "max energy ratio",
+         "optimal instances"});
     for (std::size_t v = 0; v < variants.size(); ++v) {
       t.row()
           .cell(variants[v].label)
@@ -156,7 +157,7 @@ int main() {
           .cell(ratios[v].max(), 4)
           .cell(std::to_string(hits[v]) + " / " + std::to_string(rounds_used));
     }
-    t.print(std::cout);
+    t.emit(std::cout, runner::emit_format_from_env());
     std::cout << "\nExpected shape: all greedies within a few percent of "
                  "exact; refinement closes most of GWMIN's residual gap.\n";
   }

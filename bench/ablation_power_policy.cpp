@@ -1,35 +1,81 @@
 // Ablation: the power-management policy under a fixed scheduler.
 // 2CPM's breakeven threshold is provably 2-competitive; this bench measures
 // how always-on, eager/lazy thresholds, and the offline oracle compare on a
-// real workload (heuristic scheduler, rf = 3, Cello).
+// real workload (heuristic scheduler, rf = 3, Cello). The threshold rows
+// are registry-inexpressible (they vary the policy under one scheduler), so
+// they use CellSpec::run — each lambda builds its own scheduler+policy,
+// keeping cells independent and the sweep parallel.
 #include <iostream>
 
-#include "common/experiment.hpp"
 #include "core/basic_schedulers.hpp"
 #include "core/cost_scheduler.hpp"
 #include "power/fixed_threshold.hpp"
-#include "util/table.hpp"
+#include "runner/emit.hpp"
+#include "runner/sweep.hpp"
 
 using namespace eas;
 
 int main() {
-  bench::ExperimentParams params;
-  params.workload = bench::Workload::kCello;
-  params.num_requests = bench::requests_from_env(30000);
-  params.replication_factor = 3;
-  const auto trace = bench::make_workload(params.workload, params.trace_seed,
-                                          params.num_requests);
-  const auto placement = bench::make_placement(params);
-  const auto cfg = bench::paper_system_config();
+  const auto params = runner::ExperimentBuilder(runner::Workload::kCello)
+                          .requests(runner::requests_from_env(30000))
+                          .replication(3)
+                          .build();
+  const auto cfg = runner::paper_system_config();
   const double breakeven = cfg.power.breakeven_seconds();
-  std::cerr << "# " << bench::describe(params) << "\n";
+  std::cerr << "# " << runner::describe(params) << "\n";
 
-  std::cout << "=== Ablation: power policy under the heuristic scheduler, "
-               "rf=3 (Cello) ===\n";
-  util::Table t({"policy", "norm_energy", "mean_resp_s", "waited_spinup",
-                 "spin_up+down"});
+  std::vector<runner::CellSpec> cells;
+  const auto add = [&](std::string tag,
+                       std::function<storage::RunResult(
+                           const runner::ExperimentParams&,
+                           const trace::Trace&, const placement::PlacementMap&)>
+                           run) {
+    runner::CellSpec cell;
+    cell.params = params;
+    cell.tag = std::move(tag);
+    cell.run = std::move(run);
+    if (!cell.run) cell.scheduler = cell.tag;  // tag doubles as registry name
+    cells.push_back(std::move(cell));
+  };
 
-  auto report = [&](const storage::RunResult& r) {
+  add("always-on", nullptr);
+  for (double factor : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    add("threshold x" + std::to_string(factor).substr(0, 4),
+        [factor, breakeven](const runner::ExperimentParams& p,
+                            const trace::Trace& trace,
+                            const placement::PlacementMap& placement) {
+          const auto config = runner::system_config_for(p);
+          core::CostFunctionScheduler sched(p.cost);
+          power::FixedThresholdPolicy policy(
+              factor == 1.0 ? -1.0 : breakeven * factor);
+          return storage::run_online(config, placement, trace, sched, policy);
+        });
+  }
+  // Oracle comparison point: a deterministic assignment (Static) replayed
+  // with future knowledge (per-disk pre-spins, no wake penalties) — a
+  // stateful heuristic's dispatch cannot be replayed offline, so Static
+  // isolates the policy axis. The plain online Static row pairs with it.
+  add("static@oracle",
+      [](const runner::ExperimentParams& p, const trace::Trace& trace,
+         const placement::PlacementMap& placement) {
+        const auto config = runner::system_config_for(p);
+        core::StaticScheduler sched;
+        const auto assignment = sched.schedule(trace, placement, config.power);
+        return storage::run_offline(config, placement, trace, assignment,
+                                    "static@oracle");
+      });
+  add("static", nullptr);
+
+  runner::SweepOptions opts;
+  opts.progress = &std::cerr;
+  const auto results = runner::SweepRunner(opts).run(std::move(cells));
+
+  runner::ResultTable t(
+      "Ablation: power policy under the heuristic scheduler, rf=3 (Cello)",
+      {"policy", "norm_energy", "mean_resp_s", "waited_spinup",
+       "spin_up+down"});
+  for (const auto& cell : results) {
+    const auto& r = cell.result;
     t.row()
         .cell(r.policy_name)
         .cell(r.normalized_energy(cfg.power))
@@ -37,35 +83,8 @@ int main() {
         .cell(static_cast<unsigned long long>(r.requests_waited_spinup))
         .cell(static_cast<unsigned long long>(r.total_spin_ups() +
                                               r.total_spin_downs()));
-  };
-
-  report(bench::run_always_on(params, trace, placement));
-  for (double factor : {0.25, 0.5, 1.0, 2.0, 4.0}) {
-    core::CostFunctionScheduler sched(params.cost);
-    power::FixedThresholdPolicy policy(factor == 1.0 ? -1.0
-                                                     : breakeven * factor);
-    report(storage::run_online(cfg, placement, trace, sched, policy));
   }
-  {
-    // Oracle comparison point: the same heuristic *assignment* replayed
-    // with future knowledge (per-disk pre-spins, no wake penalties).
-    core::CostFunctionScheduler sched(params.cost);
-    power::FixedThresholdPolicy policy;
-    const auto live = storage::run_online(cfg, placement, trace, sched, policy);
-    (void)live;
-    // Re-derive the dispatch assignment by replaying decisions offline is
-    // not possible for a stateful heuristic, so use Static for the oracle
-    // row — it isolates the policy axis on a deterministic assignment.
-    core::StaticScheduler static_sched;
-    const auto assignment =
-        static_sched.schedule(trace, placement, cfg.power);
-    report(storage::run_offline(cfg, placement, trace, assignment,
-                                "static@oracle"));
-    power::FixedThresholdPolicy p2;
-    core::StaticScheduler s2;
-    report(storage::run_online(cfg, placement, trace, s2, p2));
-  }
-  t.print(std::cout);
+  t.emit(std::cout, runner::emit_format_from_env());
   std::cout << "\nExpected shape: eager thresholds (< T_B) add spin cycles "
                "and wake penalties; lazy ones (> T_B) idle away the savings; "
                "the oracle rows bound what any threshold policy could do on "

@@ -1,60 +1,78 @@
 // Ablation: the §3.3 prediction extension ("assign lower cost to a more
 // frequently used disk"). Sweeps the popularity-discount gamma on both
-// workloads at rf=3 and compares against the plain heuristic.
+// workloads at rf=3 and compares against the plain heuristic. The baseline
+// rows come from the registry; the gamma rows build a PredictiveCostScheduler
+// per cell via CellSpec::run (the EWMA rate table is mutable scheduler
+// state, so each cell must own its instance).
 #include <iostream>
 
-#include "common/experiment.hpp"
-#include "core/cost_scheduler.hpp"
 #include "core/predictive_scheduler.hpp"
 #include "power/fixed_threshold.hpp"
-#include "util/table.hpp"
+#include "runner/emit.hpp"
+#include "runner/sweep.hpp"
 
 using namespace eas;
 
 int main() {
-  std::cout << "=== Ablation: predictive (EWMA popularity) scheduler, rf=3 "
-               "===\n";
-  util::Table t({"workload", "gamma", "norm_energy", "mean_resp_s",
-                 "p90_resp_ms", "spin_up+down"});
-  for (auto workload : {bench::Workload::kCello, bench::Workload::kFinancial}) {
-    bench::ExperimentParams params;
-    params.workload = workload;
-    params.replication_factor = 3;
-    params.num_requests = bench::requests_from_env(30000);
-    const auto trace = bench::make_workload(workload, params.trace_seed,
-                                            params.num_requests);
-    const auto placement = bench::make_placement(params);
-    const auto cfg = bench::paper_system_config();
-    std::cerr << "# " << bench::describe(params) << "\n";
-
-    auto report = [&](const char* label, const storage::RunResult& r) {
-      t.row()
-          .cell(std::string(bench::to_string(workload)))
-          .cell(label)
-          .cell(r.normalized_energy(cfg.power))
-          .cell(r.mean_response(), 4)
-          .cell(r.response_times.p90() * 1e3, 1)
-          .cell(static_cast<unsigned long long>(r.total_spin_ups() +
-                                                r.total_spin_downs()));
-    };
+  const double gammas[] = {0.5, 1.0, 2.0, 5.0};
+  std::vector<runner::CellSpec> cells;
+  for (auto workload :
+       {runner::Workload::kCello, runner::Workload::kFinancial}) {
+    const auto params = runner::ExperimentBuilder(workload)
+                            .requests(runner::requests_from_env(30000))
+                            .replication(3)
+                            .build();
+    std::cerr << "# " << runner::describe(params) << "\n";
 
     {
-      core::CostFunctionScheduler base(params.cost);
-      power::FixedThresholdPolicy policy;
-      report("baseline",
-             storage::run_online(cfg, placement, trace, base, policy));
+      runner::CellSpec cell;
+      cell.scheduler = "heuristic";
+      cell.params = params;
+      cell.tag = std::string(runner::to_string(workload)) + "/baseline";
+      cells.push_back(std::move(cell));
     }
-    for (double gamma : {0.5, 1.0, 2.0, 5.0}) {
-      core::PredictiveParams pp;
-      pp.cost = params.cost;
-      pp.gamma = gamma;
-      core::PredictiveCostScheduler sched(pp);
-      power::FixedThresholdPolicy policy;
-      report(std::to_string(gamma).substr(0, 3).c_str(),
-             storage::run_online(cfg, placement, trace, sched, policy));
+    for (double gamma : gammas) {
+      runner::CellSpec cell;
+      cell.params = params;
+      cell.tag = std::string(runner::to_string(workload)) + "/" +
+                 std::to_string(gamma).substr(0, 3);
+      cell.run = [gamma](const runner::ExperimentParams& p,
+                         const trace::Trace& trace,
+                         const placement::PlacementMap& placement) {
+        const auto config = runner::system_config_for(p);
+        core::PredictiveParams pp;
+        pp.cost = p.cost;
+        pp.gamma = gamma;
+        core::PredictiveCostScheduler sched(pp);
+        power::FixedThresholdPolicy policy;
+        return storage::run_online(config, placement, trace, sched, policy);
+      };
+      cells.push_back(std::move(cell));
     }
   }
-  t.print(std::cout);
+
+  runner::SweepOptions opts;
+  opts.progress = &std::cerr;
+  const auto results = runner::SweepRunner(opts).run(std::move(cells));
+
+  const auto power = runner::paper_system_config().power;
+  runner::ResultTable t(
+      "Ablation: predictive (EWMA popularity) scheduler, rf=3",
+      {"workload", "gamma", "norm_energy", "mean_resp_s", "p90_resp_ms",
+       "spin_up+down"});
+  for (const auto& cell : results) {
+    const auto& r = cell.result;
+    const auto slash = cell.spec.tag.find('/');
+    t.row()
+        .cell(cell.spec.tag.substr(0, slash))
+        .cell(cell.spec.tag.substr(slash + 1))
+        .cell(r.normalized_energy(power))
+        .cell(r.mean_response(), 4)
+        .cell(r.response_times.p90() * 1e3, 1)
+        .cell(static_cast<unsigned long long>(r.total_spin_ups() +
+                                              r.total_spin_downs()));
+  }
+  t.emit(std::cout, runner::emit_format_from_env());
   std::cout << "\nExpected shape: a mild popularity discount concentrates "
                "ties onto already-hot disks (slightly lower energy at equal "
                "response); large gamma over-concentrates and buys energy "

@@ -1,59 +1,93 @@
 // Ablation: write off-loading (§2.1's assumed substrate, implemented as an
 // extension). Sweeps the write fraction of a Cello-like workload and
 // compares wake-the-home-disk handling against off-loading to spinning
-// disks, under the energy-aware heuristic at rf=3.
+// disks, under the energy-aware heuristic at rf=3. Mixed read/write runs
+// thread a WriteOffloadManager through run_online_mixed — outside the
+// registry's vocabulary — so every cell is a CellSpec::run lambda that owns
+// its manager and deposits the offload counters in a pre-sized slot.
 #include <iostream>
 
-#include "common/experiment.hpp"
 #include "core/cost_scheduler.hpp"
 #include "core/write_offload.hpp"
 #include "power/fixed_threshold.hpp"
+#include "runner/emit.hpp"
+#include "runner/sweep.hpp"
 #include "trace/synthetic.hpp"
-#include "util/table.hpp"
 
 using namespace eas;
 
 int main() {
-  bench::ExperimentParams params;
-  params.replication_factor = 3;
-  params.num_requests = bench::requests_from_env(30000);
-  const auto placement = bench::make_placement(params);
-  const auto cfg = bench::paper_system_config();
-  std::cerr << "# write-offload ablation, " << bench::describe(params) << "\n";
+  const auto params = runner::ExperimentBuilder(runner::Workload::kCello)
+                          .requests(runner::requests_from_env(30000))
+                          .replication(3)
+                          .build();
+  const auto power = runner::paper_system_config().power;
+  std::cerr << "# write-offload ablation, " << runner::describe(params)
+            << "\n";
 
-  std::cout << "=== Ablation: write off-loading vs wake-the-home, rf=3 ===\n";
-  util::Table t({"write_frac", "mode", "norm_energy", "spin_up+down",
-                 "mean_resp_s", "diverted", "redirected_reads", "reclaims"});
-  for (double frac : {0.0, 0.1, 0.3, 0.5}) {
-    trace::SyntheticTraceConfig tc = trace::cello_like_config(params.trace_seed);
+  const double fracs[] = {0.0, 0.1, 0.3, 0.5};
+  std::vector<runner::CellSpec> cells;
+  std::vector<core::WriteOffloadStats> stats(std::size(fracs) * 2);
+  for (std::size_t f = 0; f < std::size(fracs); ++f) {
+    trace::SyntheticTraceConfig tc =
+        trace::cello_like_config(params.trace_seed);
     tc.num_requests = params.num_requests;
-    tc.write_fraction = frac;
-    const auto trace = trace::make_synthetic_trace(tc);
+    tc.write_fraction = fracs[f];
+    auto shared_trace = std::make_shared<const trace::Trace>(
+        trace::make_synthetic_trace(tc));
 
     for (const bool enabled : {false, true}) {
-      core::CostFunctionScheduler sched(params.cost);
-      power::FixedThresholdPolicy policy;
-      core::WriteOffloadOptions opts;
-      opts.enabled = enabled;
-      opts.cost = params.cost;
-      core::WriteOffloadManager offloader(opts);
-      const auto r = storage::run_online_mixed(cfg, placement, trace, sched,
-                                               policy, offloader);
+      const std::size_t slot = f * 2 + (enabled ? 1 : 0);
+      runner::CellSpec cell;
+      cell.params = params;
+      cell.tag = std::to_string(fracs[f]).substr(0, 3) +
+                 (enabled ? "/offload" : "/wake-home");
+      cell.trace = shared_trace;
+      cell.run = [enabled, slot, &stats](
+                     const runner::ExperimentParams& p,
+                     const trace::Trace& trace,
+                     const placement::PlacementMap& placement) {
+        const auto config = runner::system_config_for(p);
+        core::CostFunctionScheduler sched(p.cost);
+        power::FixedThresholdPolicy policy;
+        core::WriteOffloadOptions opts;
+        opts.enabled = enabled;
+        opts.cost = p.cost;
+        core::WriteOffloadManager offloader(opts);
+        auto r = storage::run_online_mixed(config, placement, trace, sched,
+                                           policy, offloader);
+        stats[slot] = offloader.stats();
+        return r;
+      };
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  runner::SweepOptions opts;
+  opts.progress = &std::cerr;
+  const auto results = runner::SweepRunner(opts).run(std::move(cells));
+
+  runner::ResultTable t(
+      "Ablation: write off-loading vs wake-the-home, rf=3",
+      {"write_frac", "mode", "norm_energy", "spin_up+down", "mean_resp_s",
+       "diverted", "redirected_reads", "reclaims"});
+  for (std::size_t f = 0; f < std::size(fracs); ++f) {
+    for (const bool enabled : {false, true}) {
+      const std::size_t slot = f * 2 + (enabled ? 1 : 0);
+      const auto& r = results[slot].result;
       t.row()
-          .cell(frac, 1)
+          .cell(fracs[f], 1)
           .cell(enabled ? "offload" : "wake-home")
-          .cell(r.normalized_energy(cfg.power))
+          .cell(r.normalized_energy(power))
           .cell(static_cast<unsigned long long>(r.total_spin_ups() +
                                                 r.total_spin_downs()))
           .cell(r.mean_response(), 4)
-          .cell(static_cast<unsigned long long>(
-              offloader.stats().writes_diverted))
-          .cell(static_cast<unsigned long long>(
-              offloader.stats().reads_redirected))
-          .cell(static_cast<unsigned long long>(offloader.stats().reclaims));
+          .cell(static_cast<unsigned long long>(stats[slot].writes_diverted))
+          .cell(static_cast<unsigned long long>(stats[slot].reads_redirected))
+          .cell(static_cast<unsigned long long>(stats[slot].reclaims));
     }
   }
-  t.print(std::cout);
+  t.emit(std::cout, runner::emit_format_from_env());
   std::cout << "\nExpected shape: identical at write fraction 0; as writes "
                "grow, wake-the-home burns wake cycles on sleeping homes "
                "while off-loading keeps them asleep (lower energy, fewer "

@@ -1,107 +1,121 @@
 // Calibration harness (not a figure): prints the anchor quantities the
 // paper reports so the synthetic workloads can be tuned — normalized energy
 // per scheduler at rf 1..5, spin counts, response times, trace statistics.
-// Kept in-tree so recalibration is reproducible.
+// Kept in-tree so recalibration is reproducible. The (rf × scheduler) grid
+// runs on the SweepRunner; the per-rf heuristic/MWIS state dumps and MWIS
+// graph diagnostics stay serial on the main thread (they poke scheduler
+// internals the registry does not expose).
 #include <cstdlib>
 #include <iostream>
 
-#include "common/experiment.hpp"
 #include "core/mwis_scheduler.hpp"
-#include "disk/disk.hpp"
 #include "core/offline_eval.hpp"
+#include "disk/disk.hpp"
+#include "runner/emit.hpp"
+#include "runner/sweep.hpp"
 #include "trace/synthetic.hpp"
-#include "util/table.hpp"
 
 using namespace eas;
 
 int main(int argc, char** argv) {
-  bench::ExperimentParams params;
-  if (argc > 1 && std::string(argv[1]) == "financial") {
-    params.workload = bench::Workload::kFinancial;
-  }
-  params.num_requests = 20000;  // quick by default; pass an explicit count for full scale
-  if (argc > 2) params.num_requests = std::strtoull(argv[2], nullptr, 10);
+  auto builder = runner::ExperimentBuilder(
+      argc > 1 && std::string(argv[1]) == "financial"
+          ? runner::Workload::kFinancial
+          : runner::Workload::kCello);
+  // Quick by default; pass an explicit count for full scale.
+  std::size_t num_requests = 20000;
+  if (argc > 2) num_requests = std::strtoull(argv[2], nullptr, 10);
+  const auto params = builder.requests(num_requests).build();
 
   // Optional overrides for tuning: mean_rate burst_multiplier burst_fraction.
-  trace::SyntheticTraceConfig tc = params.workload == bench::Workload::kCello
-                                       ? trace::cello_like_config(params.trace_seed)
-                                       : trace::financial_like_config(params.trace_seed);
+  trace::SyntheticTraceConfig tc =
+      params.workload == runner::Workload::kCello
+          ? trace::cello_like_config(params.trace_seed)
+          : trace::financial_like_config(params.trace_seed);
   tc.num_requests = params.num_requests;
   if (argc > 3) tc.mean_rate = std::strtod(argv[3], nullptr);
   if (argc > 4) tc.burst_rate_multiplier = std::strtod(argv[4], nullptr);
   if (argc > 5) tc.burst_time_fraction = std::strtod(argv[5], nullptr);
-  const auto trace = trace::make_synthetic_trace(tc);
-  const auto ts = trace.compute_stats();
-  std::cout << "trace: " << bench::to_string(params.workload)
+  const auto trace =
+      std::make_shared<const trace::Trace>(trace::make_synthetic_trace(tc));
+  const auto ts = trace->compute_stats();
+  std::cout << "trace: " << runner::to_string(params.workload)
             << " records=" << ts.num_records << " data=" << ts.num_distinct_data
             << " duration=" << ts.duration_seconds << "s rate=" << ts.mean_rate
             << "/s interarrival_cv=" << ts.interarrival_cv
             << " top1%share=" << ts.top1pct_access_share << "\n\n";
 
-  util::Table table({"rf", "scheduler", "norm_energy", "spin_up+down",
-                     "mean_resp_s", "p90_resp_s", "waited"});
-  const auto power = bench::paper_system_config().power;
+  const std::vector<std::string> schedulers = {"always-on", "random", "static",
+                                               "heuristic", "wsc", "mwis"};
+  std::vector<std::string> axis;
+  for (unsigned rf = 1; rf <= 5; ++rf) axis.push_back(std::to_string(rf));
+  auto cells = runner::product_grid(
+      params, schedulers, axis,
+      [](const runner::ExperimentParams& b, const std::string& tag) {
+        return runner::ExperimentBuilder(b)
+            .replication(static_cast<unsigned>(std::stoul(tag)))
+            .build();
+      });
+  for (auto& cell : cells) cell.trace = trace;  // custom tuning overrides
+
+  runner::SweepOptions opts;
+  opts.progress = &std::cerr;
+  const auto results = runner::SweepRunner(opts).run(std::move(cells));
+
+  const auto power = runner::paper_system_config().power;
+  runner::ResultTable table("calibration anchors",
+                            {"rf", "scheduler", "norm_energy", "spin_up+down",
+                             "mean_resp_s", "p90_resp_s", "waited"});
+  auto dump_states = [](unsigned rf, const std::string& label,
+                        const storage::RunResult& r) {
+    double secs[disk::kNumDiskStates] = {};
+    for (const auto& ds : r.disk_stats) {
+      for (int s = 0; s < disk::kNumDiskStates; ++s) {
+        secs[s] += ds.seconds_in_state[s];
+      }
+    }
+    std::cerr << "  [states rf=" << rf << " " << label << "] horizon="
+              << r.horizon;
+    for (int s = 0; s < disk::kNumDiskStates; ++s) {
+      std::cerr << " " << disk::to_string(static_cast<disk::DiskState>(s))
+                << "=" << secs[s];
+    }
+    std::cerr << " energy=" << r.total_energy() << "\n";
+  };
+
   for (unsigned rf = 1; rf <= 5; ++rf) {
-    bench::ExperimentParams p = params;
-    p.replication_factor = rf;
-    const auto placement = bench::make_placement(p);
-    auto report = [&](const char* label, const storage::RunResult& r) {
+    for (const auto& name : schedulers) {
+      const auto& cell = runner::find_cell(results, std::to_string(rf), name);
+      const auto& r = cell.result;
       table.row()
           .cell(static_cast<int>(rf))
-          .cell(label)
+          .cell(name)
           .cell(r.normalized_energy(power))
           .cell(static_cast<unsigned long long>(r.total_spin_ups() +
                                                 r.total_spin_downs()))
           .cell(r.mean_response(), 4)
           .cell(r.response_times.empty() ? 0.0 : r.response_times.p90(), 4)
           .cell(static_cast<unsigned long long>(r.requests_waited_spinup));
-    };
-    auto dump_states = [&](const char* label, const storage::RunResult& r) {
-      double secs[disk::kNumDiskStates] = {};
-      for (const auto& ds : r.disk_stats) {
-        for (int s = 0; s < disk::kNumDiskStates; ++s) {
-          secs[s] += ds.seconds_in_state[s];
-        }
+      if (name == "heuristic" || name == "mwis") dump_states(rf, name, r);
+      if (name == "mwis") {
+        const auto& placement = *cell.spec.placement;
+        core::MwisOptions mo;
+        mo.graph.successor_horizon = cell.spec.params.mwis_horizon;
+        core::MwisOfflineScheduler sched(mo);
+        const auto assignment = sched.schedule(*trace, placement, power);
+        const auto analytic = core::evaluate_offline(
+            *trace, assignment, placement.num_disks(), power);
+        std::cerr << "  [mwis diag rf=" << rf
+                  << "] nodes=" << sched.last_graph_nodes()
+                  << " edges=" << sched.last_graph_edges()
+                  << " selected=" << sched.last_selected_count()
+                  << " claimed_saving=" << sched.last_selected_saving()
+                  << " realized_saving=" << analytic.total_saving(power)
+                  << " ceiling=" << trace->size() * power.max_request_energy()
+                  << "\n";
       }
-      std::cerr << "  [states rf=" << rf << " " << label << "] horizon="
-                << r.horizon;
-      for (int s = 0; s < disk::kNumDiskStates; ++s) {
-        std::cerr << " " << disk::to_string(static_cast<disk::DiskState>(s))
-                  << "=" << secs[s];
-      }
-      std::cerr << " energy=" << r.total_energy() << "\n";
-    };
-    report("always-on", bench::run_always_on(p, trace, placement));
-    report("random", bench::run_random(p, trace, placement));
-    report("static", bench::run_static(p, trace, placement));
-    {
-      const auto r = bench::run_heuristic(p, trace, placement);
-      report("heuristic", r);
-      dump_states("heuristic", r);
-    }
-    report("wsc", bench::run_wsc(p, trace, placement));
-    {
-      const auto r = bench::run_mwis(p, trace, placement);
-      report("mwis", r);
-      dump_states("mwis", r);
-    }
-    {
-      core::MwisOptions opts;
-      opts.graph.successor_horizon = p.mwis_horizon;
-      core::MwisOfflineScheduler sched(opts);
-      const auto assignment = sched.schedule(trace, placement, power);
-      const auto analytic = core::evaluate_offline(
-          trace, assignment, placement.num_disks(), power);
-      std::cerr << "  [mwis diag rf=" << rf
-                << "] nodes=" << sched.last_graph_nodes()
-                << " edges=" << sched.last_graph_edges()
-                << " selected=" << sched.last_selected_count()
-                << " claimed_saving=" << sched.last_selected_saving()
-                << " realized_saving=" << analytic.total_saving(power)
-                << " ceiling=" << trace.size() * power.max_request_energy()
-                << "\n";
     }
   }
-  table.print(std::cout);
+  table.emit(std::cout, runner::emit_format_from_env());
   return 0;
 }

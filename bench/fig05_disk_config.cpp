@@ -2,18 +2,18 @@
 // evaluation (Seagate Cheetah 15K.5 performance + Barracuda power).
 #include <iostream>
 
-#include "common/experiment.hpp"
-#include "util/table.hpp"
+#include "runner/emit.hpp"
+#include "runner/experiment.hpp"
 
 using namespace eas;
 
 int main() {
-  const auto cfg = bench::paper_system_config();
+  const auto cfg = runner::paper_system_config();
   const auto& pw = cfg.power;
   const auto& pf = cfg.perf;
 
-  std::cout << "=== Fig 5: 2CPM / disk configuration ===\n";
-  util::Table t({"parameter", "value", "unit"});
+  runner::ResultTable t("Fig 5: 2CPM / disk configuration",
+                        {"parameter", "value", "unit"});
   t.row().cell("idle power (P_I)").cell(pw.idle_watts, 1).cell("W");
   t.row().cell("active power").cell(pw.active_watts, 1).cell("W");
   t.row().cell("standby power").cell(pw.standby_watts, 1).cell("W");
@@ -30,6 +30,6 @@ int main() {
   t.row().cell("avg rotational latency").cell(pf.avg_rotational_latency_seconds() * 1e3, 2).cell("ms");
   t.row().cell("sustained transfer rate").cell(pf.transfer_mb_per_sec, 0).cell("MB/s");
   t.row().cell("512 KB block service time").cell(pf.service_seconds(512 * 1024) * 1e3, 2).cell("ms");
-  t.print(std::cout);
+  t.emit(std::cout, runner::emit_format_from_env());
   return 0;
 }

@@ -3,34 +3,24 @@
 // climbs toward 1, Static stays flat (~0.88 there), the energy-aware rows
 // fall monotonically with MWIS lowest and Heuristic highest of the three.
 #include <iostream>
-#include <map>
 
 #include "fig_sweep_common.hpp"
-#include "util/table.hpp"
 
 using namespace eas;
 
 int main() {
-  const auto power = bench::paper_system_config().power;
-  std::map<unsigned, std::map<std::string, double>> cells;
-  bench::sweep_replication(
-      bench::Workload::kCello,
-      {"static", "random", "heuristic", "wsc", "mwis"},
-      [&](const bench::SweepRow& row) {
-        cells[row.rf][row.scheduler] = row.result.normalized_energy(power);
-      });
-
-  std::cout << "=== Fig 6: normalized energy vs replication factor (Cello) ===\n";
-  util::Table t({"rf", "random", "static", "heuristic", "wsc", "mwis"});
-  for (auto& [rf, by_sched] : cells) {
-    t.row()
-        .cell(static_cast<int>(rf))
-        .cell(by_sched["random"])
-        .cell(by_sched["static"])
-        .cell(by_sched["heuristic"])
-        .cell(by_sched["wsc"])
-        .cell(by_sched["mwis"]);
-  }
-  t.print(std::cout);
+  const auto power = runner::paper_system_config().power;
+  const std::vector<std::string> schedulers = {"random", "static", "heuristic",
+                                               "wsc", "mwis"};
+  const auto sweep = bench::sweep_replication(runner::Workload::kCello,
+                                              schedulers);
+  bench::pivot_by_rf(
+      sweep, "Fig 6: normalized energy vs replication factor (Cello)",
+      schedulers,
+      [&](const bench::ReplicationSweep& s, unsigned rf,
+          const std::string& name) {
+        return s.at(rf, name).normalized_energy(power);
+      })
+      .emit(std::cout, runner::emit_format_from_env());
   return 0;
 }

@@ -3,39 +3,34 @@
 // far below 1 already at rf=1; the energy-aware rows and Random decline as
 // replication grows.
 #include <iostream>
-#include <map>
 
 #include "fig_sweep_common.hpp"
-#include "util/table.hpp"
 
 using namespace eas;
 
-int main() {
-  std::map<unsigned, std::map<std::string, double>> cells;
-  bench::sweep_replication(
-      bench::Workload::kCello,
-      {"static", "random", "heuristic", "wsc", "mwis"},
-      [&](const bench::SweepRow& row) {
-        const double ops = static_cast<double>(row.result.total_spin_ups() +
-                                               row.result.total_spin_downs());
-        const double ref =
-            static_cast<double>(row.static_ref->total_spin_ups() +
-                                row.static_ref->total_spin_downs());
-        cells[row.rf][row.scheduler] = ref > 0.0 ? ops / ref : 0.0;
-      });
+namespace {
 
-  std::cout << "=== Fig 7: spin-up/down ops vs replication factor, "
-               "normalized to Static (Cello) ===\n";
-  util::Table t({"rf", "random", "static", "heuristic", "wsc", "mwis"});
-  for (auto& [rf, by_sched] : cells) {
-    t.row()
-        .cell(static_cast<int>(rf))
-        .cell(by_sched["random"])
-        .cell(by_sched["static"])
-        .cell(by_sched["heuristic"])
-        .cell(by_sched["wsc"])
-        .cell(by_sched["mwis"]);
-  }
-  t.print(std::cout);
+double spin_ops(const storage::RunResult& r) {
+  return static_cast<double>(r.total_spin_ups() + r.total_spin_downs());
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> schedulers = {"random", "static", "heuristic",
+                                               "wsc", "mwis"};
+  const auto sweep = bench::sweep_replication(runner::Workload::kCello,
+                                              schedulers);
+  bench::pivot_by_rf(
+      sweep,
+      "Fig 7: spin-up/down ops vs replication factor, normalized to Static "
+      "(Cello)",
+      schedulers,
+      [](const bench::ReplicationSweep& s, unsigned rf,
+         const std::string& name) {
+        const double ref = spin_ops(s.at(rf, "static"));
+        return ref > 0.0 ? spin_ops(s.at(rf, name)) / ref : 0.0;
+      })
+      .emit(std::cout, runner::emit_format_from_env());
   return 0;
 }

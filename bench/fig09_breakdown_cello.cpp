@@ -6,7 +6,7 @@
 
 int main() {
   std::cout << "=== Fig 9: per-disk state-time breakdown, rf=3 (Cello) ===\n";
-  eas::bench::print_breakdown(eas::bench::Workload::kCello,
+  eas::bench::print_breakdown(eas::runner::Workload::kCello,
                               {"random", "static", "wsc", "mwis"});
   return 0;
 }

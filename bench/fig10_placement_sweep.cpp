@@ -6,14 +6,22 @@
 // shrinks as rf grows.
 //
 // The paper steps z by 0.1; default here is 0.25 for bench runtime, with
-// EAS_ZSTEP available to reproduce the full grid.
+// EAS_ZSTEP available to reproduce the full grid. All (rf x z x scheduler)
+// cells run as one parallel sweep sharing a single trace; each (rf, z)
+// placement is built once and shared across its schedulers.
 #include <cstdlib>
 #include <iostream>
 
-#include "common/experiment.hpp"
-#include "util/table.hpp"
+#include "runner/emit.hpp"
+#include "runner/sweep.hpp"
 
 using namespace eas;
+
+namespace {
+
+std::string z_label(double z) { return std::to_string(z).substr(0, 4); }
+
+}  // namespace
 
 int main() {
   double z_step = 0.25;
@@ -22,34 +30,52 @@ int main() {
     if (v > 0.0 && v <= 1.0) z_step = v;
   }
 
-  bench::ExperimentParams base;
-  base.workload = bench::Workload::kCello;
-  base.num_requests = bench::requests_from_env();
-  const auto trace =
-      bench::make_workload(base.workload, base.trace_seed, base.num_requests);
-  const auto power = bench::paper_system_config().power;
-  std::cerr << "# " << bench::describe(base) << " z_step=" << z_step << "\n";
+  const auto base = runner::ExperimentBuilder(runner::Workload::kCello)
+                        .requests(runner::requests_from_env())
+                        .build();
+  const auto power = runner::paper_system_config().power;
+  std::cerr << "# " << runner::describe(base) << " z_step=" << z_step << "\n";
 
-  std::cout << "=== Fig 10: normalized energy vs (rf, zipf z), Cello ===\n";
-  for (const char* sched : {"random", "static", "heuristic"}) {
-    std::cout << "--- scheduler: " << sched << " ---\n";
-    std::vector<std::string> header{"rf"};
-    for (double z = 0.0; z <= 1.0 + 1e-9; z += z_step) {
-      header.push_back("z=" + std::to_string(z).substr(0, 4));
-    }
-    util::Table t(header);
-    for (unsigned rf = 1; rf <= 5; ++rf) {
-      t.row().cell(static_cast<int>(rf));
-      for (double z = 0.0; z <= 1.0 + 1e-9; z += z_step) {
-        bench::ExperimentParams p = base;
-        p.replication_factor = rf;
-        p.zipf_z = z;
-        const auto placement = bench::make_placement(p);
-        const auto result = bench::run_scheduler(sched, p, trace, placement);
-        t.cell(result.normalized_energy(power));
+  std::vector<double> zs;
+  for (double z = 0.0; z <= 1.0 + 1e-9; z += z_step) zs.push_back(z);
+
+  const std::vector<std::string> schedulers = {"random", "static", "heuristic"};
+  std::vector<runner::CellSpec> cells;
+  for (unsigned rf = 1; rf <= 5; ++rf) {
+    for (double z : zs) {
+      const auto p = runner::ExperimentBuilder(base)
+                         .replication(rf)
+                         .zipf_z(z)
+                         .build();
+      for (const auto& name : schedulers) {
+        runner::CellSpec cell;
+        cell.scheduler = name;
+        cell.params = p;
+        cell.tag = std::to_string(rf) + "/" + z_label(z);
+        cells.push_back(std::move(cell));
       }
     }
-    t.print(std::cout);
+  }
+
+  runner::SweepOptions opts;
+  opts.progress = &std::cerr;
+  const auto results = runner::SweepRunner(opts).run(std::move(cells));
+
+  const auto format = runner::emit_format_from_env();
+  std::cout << "=== Fig 10: normalized energy vs (rf, zipf z), Cello ===\n";
+  for (const auto& name : schedulers) {
+    std::vector<std::string> header{"rf"};
+    for (double z : zs) header.push_back("z=" + z_label(z));
+    runner::ResultTable t("scheduler: " + name, std::move(header));
+    for (unsigned rf = 1; rf <= 5; ++rf) {
+      t.row().cell(static_cast<int>(rf));
+      for (double z : zs) {
+        const auto& r = runner::find_cell(
+            results, std::to_string(rf) + "/" + z_label(z), name);
+        t.cell(r.result.normalized_energy(power));
+      }
+    }
+    t.emit(std::cout, format);
     std::cout << "\n";
   }
   return 0;

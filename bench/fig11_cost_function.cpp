@@ -3,76 +3,86 @@
 // 500,1000}, rf=3, Cello, normalized to the alpha=0 (pure-performance) run
 // per beta. Paper shape: energy falls >35% as alpha -> 1 while response
 // rises ~2x; larger beta shifts both curves toward the alpha=0 behaviour;
-// (alpha=0.2, beta=100) sits near the knee.
+// (alpha=0.2, beta=100) sits near the knee. The 30 (alpha x beta) cells run
+// as one parallel sweep over a shared trace and placement.
 #include <iostream>
 
-#include "common/experiment.hpp"
-#include "util/table.hpp"
+#include "runner/emit.hpp"
+#include "runner/sweep.hpp"
 
 using namespace eas;
 
+namespace {
+
+std::string tag_of(double beta, double alpha) {
+  return "b" + std::to_string(static_cast<long long>(beta)) + "/a" +
+         std::to_string(alpha).substr(0, 3);
+}
+
+}  // namespace
+
 int main() {
-  bench::ExperimentParams base;
-  base.workload = bench::Workload::kCello;
-  base.num_requests = bench::requests_from_env();
-  base.replication_factor = 3;
-  const auto trace =
-      bench::make_workload(base.workload, base.trace_seed, base.num_requests);
-  const auto placement = bench::make_placement(base);
-  std::cerr << "# " << bench::describe(base) << "\n";
+  const auto base = runner::ExperimentBuilder(runner::Workload::kCello)
+                        .requests(runner::requests_from_env())
+                        .replication(3)
+                        .build();
+  std::cerr << "# " << runner::describe(base) << "\n";
 
   const double alphas[] = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
   const double betas[] = {1.0, 10.0, 100.0, 500.0, 1000.0};
 
-  struct Cell {
-    double energy, response;
-  };
-  std::vector<std::vector<Cell>> grid(std::size(betas));
-  for (std::size_t b = 0; b < std::size(betas); ++b) {
+  std::vector<runner::CellSpec> cells;
+  for (double beta : betas) {
     for (double alpha : alphas) {
-      bench::ExperimentParams p = base;
-      p.cost.alpha = alpha;
-      p.cost.beta = betas[b];
-      const auto r = bench::run_heuristic(p, trace, placement);
-      grid[b].push_back(Cell{r.total_energy(), r.mean_response()});
+      runner::CellSpec cell;
+      cell.scheduler = "heuristic";
+      cell.params =
+          runner::ExperimentBuilder(base).alpha(alpha).beta(beta).build();
+      cell.tag = tag_of(beta, alpha);
+      cells.push_back(std::move(cell));
     }
   }
 
-  std::cout << "=== Fig 11a: heuristic energy vs alpha (normalized to "
-               "alpha=0), rf=3 (Cello) ===\n";
-  {
-    std::vector<std::string> header{"beta"};
-    for (double a : alphas) header.push_back("a=" + std::to_string(a).substr(0, 3));
-    util::Table t(header);
-    for (std::size_t b = 0; b < std::size(betas); ++b) {
-      t.row().cell(static_cast<long long>(betas[b]));
-      for (std::size_t a = 0; a < std::size(alphas); ++a) {
-        t.cell(grid[b][a].energy / grid[b][0].energy);
-      }
-    }
-    t.print(std::cout);
-  }
+  runner::SweepOptions opts;
+  opts.progress = &std::cerr;
+  const auto results = runner::SweepRunner(opts).run(std::move(cells));
 
-  std::cout << "\n=== Fig 11b: heuristic mean response vs alpha (normalized "
-               "to alpha=0), rf=3 (Cello) ===\n";
-  {
+  const auto at = [&](double beta, double alpha) -> const storage::RunResult& {
+    return runner::find_cell(results, tag_of(beta, alpha), "heuristic").result;
+  };
+
+  const auto format = runner::emit_format_from_env();
+  const auto pivot = [&](std::string title, auto&& metric) {
     std::vector<std::string> header{"beta"};
-    for (double a : alphas) header.push_back("a=" + std::to_string(a).substr(0, 3));
-    util::Table t(header);
-    for (std::size_t b = 0; b < std::size(betas); ++b) {
-      t.row().cell(static_cast<long long>(betas[b]));
-      for (std::size_t a = 0; a < std::size(alphas); ++a) {
-        t.cell(grid[b][a].response / grid[b][0].response);
+    for (double a : alphas) {
+      header.push_back("a=" + std::to_string(a).substr(0, 3));
+    }
+    runner::ResultTable t(std::move(title), std::move(header));
+    for (double beta : betas) {
+      t.row().cell(static_cast<long long>(beta));
+      for (double alpha : alphas) {
+        t.cell(metric(at(beta, alpha)) / metric(at(beta, 0.0)));
       }
     }
-    t.print(std::cout);
-  }
+    t.emit(std::cout, format);
+  };
+
+  pivot(
+      "Fig 11a: heuristic energy vs alpha (normalized to alpha=0), rf=3 "
+      "(Cello)",
+      [](const storage::RunResult& r) { return r.total_energy(); });
+  std::cout << "\n";
+  pivot(
+      "Fig 11b: heuristic mean response vs alpha (normalized to alpha=0), "
+      "rf=3 (Cello)",
+      [](const storage::RunResult& r) { return r.mean_response(); });
 
   // The unnormalized cost at the paper's chosen operating point, for
   // EXPERIMENTS.md.
   std::cout << "\npaper operating point (alpha=0.2, beta=100): energy="
-            << grid[2][1].energy / grid[2][0].energy
-            << "x, response=" << grid[2][1].response / grid[2][0].response
+            << at(100.0, 0.2).total_energy() / at(100.0, 0.0).total_energy()
+            << "x, response="
+            << at(100.0, 0.2).mean_response() / at(100.0, 0.0).mean_response()
             << "x of alpha=0\n";
   return 0;
 }

@@ -5,35 +5,37 @@
 // ~15 s); always-on and MWIS have no such tail.
 #include <iostream>
 
-#include "common/experiment.hpp"
-#include "util/table.hpp"
+#include "runner/emit.hpp"
+#include "runner/sweep.hpp"
 
 using namespace eas;
 
 int main() {
-  bench::ExperimentParams params;
-  params.workload = bench::Workload::kCello;
-  params.num_requests = bench::requests_from_env();
-  params.replication_factor = 3;
-  const auto trace = bench::make_workload(params.workload, params.trace_seed,
-                                          params.num_requests);
-  const auto placement = bench::make_placement(params);
-  std::cerr << "# " << bench::describe(params) << "\n";
+  const auto params = runner::ExperimentBuilder(runner::Workload::kCello)
+                          .requests(runner::requests_from_env())
+                          .replication(3)
+                          .build();
+  std::cerr << "# " << runner::describe(params) << "\n";
 
-  const char* rows[] = {"always-on", "random", "static",
-                        "heuristic", "wsc",    "mwis"};
+  const std::vector<std::string> schedulers = {"always-on", "random", "static",
+                                               "heuristic", "wsc", "mwis"};
   const double xs[] = {0.001, 0.003, 0.01, 0.03, 0.1, 0.3,
                        1.0,   3.0,   10.0, 15.0, 20.0};
 
-  std::cout << "=== Fig 12: P[response > x], rf=3 (Cello) ===\n";
+  runner::SweepOptions opts;
+  opts.progress = &std::cerr;
+  const auto results = runner::SweepRunner(opts).run(
+      runner::product_grid(params, schedulers, {"rf3"}, nullptr));
+
   std::vector<std::string> header{"scheduler"};
   for (double x : xs) header.push_back(std::to_string(x).substr(0, 6) + "s");
-  util::Table t(header);
-  for (const char* name : rows) {
-    const auto r = bench::run_scheduler(name, params, trace, placement);
-    t.row().cell(std::string(name));
+  runner::ResultTable t("Fig 12: P[response > x], rf=3 (Cello)",
+                        std::move(header));
+  for (const auto& name : schedulers) {
+    const auto& r = runner::find_cell(results, "rf3", name).result;
+    t.row().cell(name);
     for (double x : xs) t.cell(r.response_times.fraction_above(x), 5);
   }
-  t.print(std::cout);
+  t.emit(std::cout, runner::emit_format_from_env());
   return 0;
 }

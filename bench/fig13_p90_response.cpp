@@ -4,39 +4,25 @@
 // once replicas exist; WSC stays highest (~0.1 s) because of the batching
 // interval.
 #include <iostream>
-#include <map>
 
 #include "fig_sweep_common.hpp"
-#include "util/table.hpp"
 
 using namespace eas;
 
 int main() {
-  std::map<unsigned, std::map<std::string, double>> cells;
-  bench::sweep_replication(
-      bench::Workload::kCello,
-      {"static", "always-on", "random", "heuristic", "wsc", "mwis"},
-      [&](const bench::SweepRow& row) {
-        cells[row.rf][row.scheduler] =
-            row.result.response_times.empty()
-                ? 0.0
-                : row.result.response_times.p90() * 1e3;
-      });
-
-  std::cout << "=== Fig 13: p90 response time (ms) vs replication factor "
-               "(Cello) ===\n";
-  util::Table t({"rf", "always-on", "random", "static", "heuristic", "wsc",
-                 "mwis"});
-  for (auto& [rf, by_sched] : cells) {
-    t.row()
-        .cell(static_cast<int>(rf))
-        .cell(by_sched["always-on"], 1)
-        .cell(by_sched["random"], 1)
-        .cell(by_sched["static"], 1)
-        .cell(by_sched["heuristic"], 1)
-        .cell(by_sched["wsc"], 1)
-        .cell(by_sched["mwis"], 1);
-  }
-  t.print(std::cout);
+  const std::vector<std::string> schedulers = {"always-on", "random", "static",
+                                               "heuristic", "wsc", "mwis"};
+  const auto sweep = bench::sweep_replication(runner::Workload::kCello,
+                                              schedulers);
+  bench::pivot_by_rf(
+      sweep, "Fig 13: p90 response time (ms) vs replication factor (Cello)",
+      schedulers,
+      [](const bench::ReplicationSweep& s, unsigned rf,
+         const std::string& name) {
+        const auto& r = s.at(rf, name);
+        return r.response_times.empty() ? 0.0 : r.response_times.p90() * 1e3;
+      },
+      1)
+      .emit(std::cout, runner::emit_format_from_env());
   return 0;
 }

@@ -2,32 +2,22 @@
 // Financial1. Paper: same ranking as Fig 8 but at ~300 ms scale instead of
 // ~1 s — Financial1's smoother arrivals produce fewer deep queues.
 #include <iostream>
-#include <map>
 
 #include "fig_sweep_common.hpp"
-#include "util/table.hpp"
 
 using namespace eas;
 
 int main() {
-  std::map<unsigned, std::map<std::string, double>> cells;
-  bench::sweep_replication(
-      bench::Workload::kFinancial, {"static", "random", "heuristic", "wsc"},
-      [&](const bench::SweepRow& row) {
-        cells[row.rf][row.scheduler] = row.result.mean_response();
-      });
-
-  std::cout << "=== Fig 16: mean response time (s) vs replication factor "
-               "(Financial1) ===\n";
-  util::Table t({"rf", "random", "static", "heuristic", "wsc"});
-  for (auto& [rf, by_sched] : cells) {
-    t.row()
-        .cell(static_cast<int>(rf))
-        .cell(by_sched["random"])
-        .cell(by_sched["static"])
-        .cell(by_sched["heuristic"])
-        .cell(by_sched["wsc"]);
-  }
-  t.print(std::cout);
+  const std::vector<std::string> schedulers = {"random", "static", "heuristic",
+                                               "wsc"};
+  const auto sweep = bench::sweep_replication(runner::Workload::kFinancial,
+                                              schedulers);
+  bench::pivot_by_rf(
+      sweep,
+      "Fig 16: mean response time (s) vs replication factor (Financial1)",
+      schedulers,
+      [](const bench::ReplicationSweep& s, unsigned rf,
+         const std::string& name) { return s.at(rf, name).mean_response(); })
+      .emit(std::cout, runner::emit_format_from_env());
   return 0;
 }

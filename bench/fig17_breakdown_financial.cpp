@@ -5,7 +5,7 @@
 int main() {
   std::cout << "=== Fig 17: per-disk state-time breakdown, rf=3 "
                "(Financial1) ===\n";
-  eas::bench::print_breakdown(eas::bench::Workload::kFinancial,
+  eas::bench::print_breakdown(eas::runner::Workload::kFinancial,
                               {"random", "static", "wsc", "mwis"});
   return 0;
 }

@@ -2,7 +2,9 @@
 // at rf=3, report the percentage of time every disk spends in standby /
 // idle / active / spin-up+down, disks sorted by standby share descending —
 // exactly the series those figures plot, condensed to every Nth disk plus
-// fleet aggregates.
+// fleet aggregates. The four scheduler cells run concurrently on the
+// SweepRunner; the per-scheduler tables are printed afterwards in roster
+// order, so output is independent of EAS_THREADS.
 #pragma once
 
 #include <algorithm>
@@ -10,24 +12,27 @@
 #include <string>
 #include <vector>
 
-#include "common/experiment.hpp"
-#include "util/table.hpp"
+#include "runner/emit.hpp"
+#include "runner/sweep.hpp"
 
 namespace eas::bench {
 
-inline void print_breakdown(Workload workload,
+inline void print_breakdown(runner::Workload workload,
                             const std::vector<std::string>& schedulers) {
-  ExperimentParams params;
-  params.workload = workload;
-  params.num_requests = requests_from_env();
-  params.replication_factor = 3;
-  const auto trace =
-      make_workload(workload, params.trace_seed, params.num_requests);
-  const auto placement = make_placement(params);
-  std::cerr << "# " << describe(params) << "\n";
+  const auto params = runner::ExperimentBuilder(workload)
+                          .requests(runner::requests_from_env())
+                          .replication(3)
+                          .build();
+  std::cerr << "# " << runner::describe(params) << "\n";
 
+  runner::SweepOptions opts;
+  opts.progress = &std::cerr;
+  const auto cells = runner::SweepRunner(opts).run(
+      runner::product_grid(params, schedulers, {"rf3"}, nullptr));
+
+  const auto format = runner::emit_format_from_env();
   for (const auto& name : schedulers) {
-    const auto result = run_scheduler(name, params, trace, placement);
+    const auto& result = runner::find_cell(cells, "rf3", name).result;
 
     struct Row {
       double standby, idle, active, spin;
@@ -50,9 +55,10 @@ inline void print_breakdown(Workload workload,
     std::sort(rows.begin(), rows.end(),
               [](const Row& a, const Row& b) { return a.standby > b.standby; });
 
-    std::cout << "--- scheduler: " << name << " (disks sorted by standby "
-              << "share, every 15th of " << rows.size() << ") ---\n";
-    util::Table t({"disk_rank", "standby%", "idle%", "active%", "spin%"});
+    runner::ResultTable t(
+        "scheduler: " + name + " (disks sorted by standby share, every 15th " +
+            "of " + std::to_string(rows.size()) + ")",
+        {"disk_rank", "standby%", "idle%", "active%", "spin%"});
     for (std::size_t i = 0; i < rows.size(); i += 15) {
       t.row()
           .cell(i)
@@ -77,7 +83,7 @@ inline void print_breakdown(Workload workload,
         .cell(mean.idle / n, 1)
         .cell(mean.active / n, 2)
         .cell(mean.spin / n, 1);
-    t.print(std::cout);
+    t.emit(std::cout, format);
     std::cout << "disks >50% standby: " << above_half << " / " << rows.size()
               << "\n\n";
   }

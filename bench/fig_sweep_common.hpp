@@ -1,51 +1,72 @@
 // Shared replication-factor sweep used by the Fig 6/7/8/13 (Cello) and
 // Fig 14/15/16 (Financial1) benches: run the §4.3 scheduler roster at
-// rf = 1..5 over one workload and hand each result to a row callback.
+// rf = 1..5 over one workload. The (rf × scheduler) grid is declared once
+// and executed by the parallel SweepRunner — all cells share one immutable
+// trace, one placement per rf, and results are bit-identical to a serial
+// run regardless of EAS_THREADS.
 #pragma once
 
-#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "common/experiment.hpp"
+#include "runner/emit.hpp"
+#include "runner/sweep.hpp"
 
 namespace eas::bench {
 
-struct SweepRow {
-  unsigned rf;
-  std::string scheduler;
-  storage::RunResult result;
-  /// The Static run at the same rf (already computed), for normalisation.
-  const storage::RunResult* static_ref;
+inline constexpr unsigned kMaxReplication = 5;
+
+struct ReplicationSweep {
+  std::vector<runner::CellResult> cells;
+
+  const storage::RunResult& at(unsigned rf, std::string_view sched) const {
+    return runner::find_cell(cells, std::to_string(rf), sched).result;
+  }
 };
 
-/// Runs `schedulers` (row names) for rf 1..5 and invokes `consume` per run.
-/// The "static" row is always run (first) so it can serve as reference.
-inline void sweep_replication(Workload workload,
-                              const std::vector<std::string>& schedulers,
-                              const std::function<void(const SweepRow&)>& consume) {
-  ExperimentParams params;
-  params.workload = workload;
-  params.num_requests = requests_from_env();
-  const auto trace =
-      make_workload(workload, params.trace_seed, params.num_requests);
-  std::cerr << "# " << describe(params) << "\n";
+/// Runs `schedulers` (registry row names) for rf 1..5 in parallel.
+inline ReplicationSweep sweep_replication(
+    runner::Workload workload, const std::vector<std::string>& schedulers) {
+  const auto base = runner::ExperimentBuilder(workload)
+                        .requests(runner::requests_from_env())
+                        .build();
+  std::cerr << "# " << runner::describe(base) << "\n";
 
-  for (unsigned rf = 1; rf <= 5; ++rf) {
-    ExperimentParams p = params;
-    p.replication_factor = rf;
-    const auto placement = make_placement(p);
-    const auto static_run = run_static(p, trace, placement);
+  std::vector<std::string> axis;
+  for (unsigned rf = 1; rf <= kMaxReplication; ++rf) {
+    axis.push_back(std::to_string(rf));
+  }
+  auto cells = runner::product_grid(
+      base, schedulers, axis,
+      [](const runner::ExperimentParams& b, const std::string& tag) {
+        return runner::ExperimentBuilder(b)
+            .replication(static_cast<unsigned>(std::stoul(tag)))
+            .build();
+      });
+
+  runner::SweepOptions opts;
+  opts.progress = &std::cerr;
+  return ReplicationSweep{runner::SweepRunner(opts).run(std::move(cells))};
+}
+
+/// The common "one metric per (rf, scheduler)" pivot: rf rows, one column
+/// per scheduler, values from `metric`.
+template <typename MetricFn>
+runner::ResultTable pivot_by_rf(const ReplicationSweep& sweep,
+                                std::string title,
+                                const std::vector<std::string>& schedulers,
+                                MetricFn&& metric, int precision = 3) {
+  std::vector<std::string> columns{"rf"};
+  columns.insert(columns.end(), schedulers.begin(), schedulers.end());
+  runner::ResultTable t(std::move(title), std::move(columns));
+  for (unsigned rf = 1; rf <= kMaxReplication; ++rf) {
+    t.row().cell(static_cast<int>(rf));
     for (const auto& name : schedulers) {
-      if (name == "static") {
-        consume(SweepRow{rf, name, static_run, &static_run});
-        continue;
-      }
-      consume(SweepRow{rf, name, run_scheduler(name, p, trace, placement),
-                       &static_run});
+      t.cell(metric(sweep, rf, name), precision);
     }
   }
+  return t;
 }
 
 }  // namespace eas::bench

@@ -3,7 +3,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "common/experiment.hpp"
+#include "runner/experiment.hpp"
 #include "core/mwis_scheduler.hpp"
 #include "core/offline_eval.hpp"
 #include "storage/storage_system.hpp"
@@ -11,17 +11,17 @@
 using namespace eas;
 
 int main(int argc, char** argv) {
-  bench::ExperimentParams p;
+  runner::ExperimentParams p;
   if (argc > 1 && std::string(argv[1]) == "financial") {
-    p.workload = bench::Workload::kFinancial;
+    p.workload = runner::Workload::kFinancial;
   }
   p.num_requests = 5000;  // quick by default
   if (argc > 2) p.num_requests = std::strtoull(argv[2], nullptr, 10);
   if (argc > 3) p.replication_factor = std::atoi(argv[3]);
 
-  const auto trace = bench::make_workload(p.workload, p.trace_seed, p.num_requests);
-  const auto placement = bench::make_placement(p);
-  const auto power = bench::paper_system_config().power;
+  const auto trace = runner::make_workload(p.workload, p.trace_seed, p.num_requests);
+  const auto placement = runner::make_placement(p);
+  const auto power = runner::paper_system_config().power;
 
   for (auto alg : {core::MwisOptions::Algorithm::kGwmin,
                    core::MwisOptions::Algorithm::kGwmin2}) {
@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
         opts.graph.successor_horizon = horizon;
         core::MwisOfflineScheduler sched(opts);
         auto assignment = sched.schedule(trace, placement, power);
-        const auto r = storage::run_offline(bench::paper_system_config(),
+        const auto r = storage::run_offline(runner::paper_system_config(),
                                             placement, trace, assignment,
                                             sched.name());
         std::cout << sched.name() << " passes=" << passes

@@ -1,13 +1,13 @@
 // One full-scale MWIS run for timing. Usage: zz_probe_single [wl] [n] [rf] [h] [passes] [alg2]
 #include <cstdlib>
 #include <iostream>
-#include "common/experiment.hpp"
+#include "runner/experiment.hpp"
 #include "core/mwis_scheduler.hpp"
 #include "storage/storage_system.hpp"
 using namespace eas;
 int main(int argc, char** argv) {
-  bench::ExperimentParams p;
-  if (argc > 1 && std::string(argv[1]) == "financial") p.workload = bench::Workload::kFinancial;
+  runner::ExperimentParams p;
+  if (argc > 1 && std::string(argv[1]) == "financial") p.workload = runner::Workload::kFinancial;
   p.num_requests = 5000;  // quick by default
   if (argc > 2) p.num_requests = std::strtoull(argv[2], nullptr, 10);
   if (argc > 3) p.replication_factor = std::atoi(argv[3]);
@@ -16,12 +16,12 @@ int main(int argc, char** argv) {
   if (argc > 4) opts.graph.successor_horizon = std::atoi(argv[4]);
   if (argc > 5) opts.refine_passes = std::atoi(argv[5]);
   if (argc > 6 && std::atoi(argv[6])) opts.algorithm = core::MwisOptions::Algorithm::kGwmin2;
-  const auto trace = bench::make_workload(p.workload, p.trace_seed, p.num_requests);
-  const auto placement = bench::make_placement(p);
-  const auto power = bench::paper_system_config().power;
+  const auto trace = runner::make_workload(p.workload, p.trace_seed, p.num_requests);
+  const auto placement = runner::make_placement(p);
+  const auto power = runner::paper_system_config().power;
   core::MwisOfflineScheduler sched(opts);
   auto assignment = sched.schedule(trace, placement, power);
-  const auto r = storage::run_offline(bench::paper_system_config(), placement, trace, assignment, sched.name());
+  const auto r = storage::run_offline(runner::paper_system_config(), placement, trace, assignment, sched.name());
   std::cout << sched.name() << " nodes=" << sched.last_graph_nodes() << " edges=" << sched.last_graph_edges()
             << " norm_energy=" << r.normalized_energy(power) << "\n";
   return 0;

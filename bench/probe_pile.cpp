@@ -1,20 +1,20 @@
 #include <cstdlib>
 #include <iostream>
-#include "common/experiment.hpp"
+#include "runner/experiment.hpp"
 #include "core/energy_model.hpp"
 #include "core/offline_eval.hpp"
 #include "core/refine.hpp"
 #include "storage/storage_system.hpp"
 using namespace eas;
 int main(int argc, char** argv) {
-  bench::ExperimentParams p;
-  if (argc > 1 && std::string(argv[1]) == "financial") p.workload = bench::Workload::kFinancial;
+  runner::ExperimentParams p;
+  if (argc > 1 && std::string(argv[1]) == "financial") p.workload = runner::Workload::kFinancial;
   p.num_requests = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5000;  // quick by default
   if (argc > 3) p.replication_factor = std::atoi(argv[3]);
   std::size_t passes = argc > 4 ? std::atoi(argv[4]) : 8;
-  const auto trace = bench::make_workload(p.workload, p.trace_seed, p.num_requests);
-  const auto placement = bench::make_placement(p);
-  const auto power = bench::paper_system_config().power;
+  const auto trace = runner::make_workload(p.workload, p.trace_seed, p.num_requests);
+  const auto placement = runner::make_placement(p);
+  const auto power = runner::paper_system_config().power;
   core::OfflineAssignment a;
   std::vector<double> last(placement.num_disks(), -1e9);
   for (std::size_t r = 0; r < trace.size(); ++r) {
@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
     last[best] = trace[r].time;
   }
   const auto st = core::refine_offline_assignment(a, trace, placement, power, passes);
-  const auto run = storage::run_offline(bench::paper_system_config(), placement, trace, a, "pile+refine");
+  const auto run = storage::run_offline(runner::paper_system_config(), placement, trace, a, "pile+refine");
   std::cout << "pile+refine passes=" << passes << " moves=" << st.moves << "+" << st.pair_moves
             << " norm_energy=" << run.normalized_energy(power) << "\n";
   return 0;

@@ -1,0 +1,271 @@
+#include "runner/emit.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace eas::runner {
+
+const char* to_string(EmitFormat f) {
+  switch (f) {
+    case EmitFormat::kTable:
+      return "table";
+    case EmitFormat::kCsv:
+      return "csv";
+    case EmitFormat::kJson:
+      return "json";
+  }
+  return "?";
+}
+
+EmitFormat emit_format_from_env(EmitFormat fallback) {
+  const char* env = std::getenv("EAS_EMIT");
+  if (env == nullptr) return fallback;
+  const std::string_view v(env);
+  if (v == "table") return EmitFormat::kTable;
+  if (v == "csv") return EmitFormat::kCsv;
+  if (v == "json") return EmitFormat::kJson;
+  return fallback;
+}
+
+ResultTable::ResultTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  EAS_CHECK_MSG(!columns_.empty(), "result table needs at least one column");
+}
+
+ResultTable& ResultTable::row() {
+  if (!rows_.empty()) {
+    EAS_CHECK_MSG(rows_.back().size() == columns_.size(),
+                  "row " << rows_.size() - 1 << " has " << rows_.back().size()
+                         << " cells, expected " << columns_.size());
+  }
+  rows_.emplace_back();
+  return *this;
+}
+
+ResultTable::Cell& ResultTable::push(Cell c) {
+  EAS_CHECK_MSG(!rows_.empty(), "cell() before row()");
+  EAS_CHECK_MSG(rows_.back().size() < columns_.size(),
+                "too many cells in row " << rows_.size() - 1);
+  rows_.back().push_back(std::move(c));
+  return rows_.back().back();
+}
+
+ResultTable& ResultTable::cell(std::string v) {
+  Cell c;
+  c.kind = Cell::Kind::kText;
+  c.text = std::move(v);
+  push(std::move(c));
+  return *this;
+}
+
+ResultTable& ResultTable::cell(double v, int precision) {
+  Cell c;
+  c.kind = Cell::Kind::kDouble;
+  c.d = v;
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  c.text = os.str();
+  push(std::move(c));
+  return *this;
+}
+
+ResultTable& ResultTable::cell(long long v) {
+  Cell c;
+  c.kind = Cell::Kind::kInt;
+  c.i = v;
+  c.text = std::to_string(v);
+  push(std::move(c));
+  return *this;
+}
+
+ResultTable& ResultTable::cell(unsigned long long v) {
+  Cell c;
+  c.kind = Cell::Kind::kUint;
+  c.u = v;
+  c.text = std::to_string(v);
+  push(std::move(c));
+  return *this;
+}
+
+void ResultTable::emit(std::ostream& os, EmitFormat format) const {
+  if (!rows_.empty()) {
+    EAS_CHECK_MSG(rows_.back().size() == columns_.size(),
+                  "last row has " << rows_.back().size()
+                                  << " cells, expected " << columns_.size());
+  }
+  switch (format) {
+    case EmitFormat::kTable:
+      emit_table(os);
+      return;
+    case EmitFormat::kCsv:
+      emit_csv(os);
+      return;
+    case EmitFormat::kJson:
+      emit_json(os);
+      return;
+  }
+}
+
+void ResultTable::emit_table(std::ostream& os) const {
+  if (!title_.empty()) os << "=== " << title_ << " ===\n";
+  util::Table t(columns_);
+  for (const auto& r : rows_) {
+    t.row();
+    for (const auto& c : r) t.cell(c.text);
+  }
+  t.print(os);
+}
+
+namespace {
+
+std::string csv_quote(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+void ResultTable::emit_csv(std::ostream& os) const {
+  if (!title_.empty()) os << "# " << title_ << "\n";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    os << (i > 0 ? "," : "") << csv_quote(columns_[i]);
+  }
+  os << "\n";
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i > 0) os << ',';
+      const Cell& c = r[i];
+      switch (c.kind) {
+        case Cell::Kind::kText:
+          os << csv_quote(c.text);
+          break;
+        case Cell::Kind::kDouble:
+          os << util::json_number(c.d);  // shortest round-trip form
+          break;
+        case Cell::Kind::kInt:
+          os << c.i;
+          break;
+        case Cell::Kind::kUint:
+          os << c.u;
+          break;
+      }
+    }
+    os << "\n";
+  }
+}
+
+void ResultTable::emit_json(std::ostream& os) const {
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.field("title", title_);
+  w.key("columns");
+  w.begin_array();
+  for (const auto& c : columns_) w.value(c);
+  w.end_array();
+  w.key("rows");
+  w.begin_array();
+  for (const auto& r : rows_) {
+    w.begin_object();
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      w.key(columns_[i]);
+      const Cell& c = r[i];
+      switch (c.kind) {
+        case Cell::Kind::kText:
+          w.value(c.text);
+          break;
+        case Cell::Kind::kDouble:
+          w.value(c.d);
+          break;
+        case Cell::Kind::kInt:
+          w.value(c.i);
+          break;
+        case Cell::Kind::kUint:
+          w.value(c.u);
+          break;
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+namespace {
+
+const char* to_string(CellStatus s) {
+  switch (s) {
+    case CellStatus::kOk:
+      return "ok";
+    case CellStatus::kFailed:
+      return "failed";
+    case CellStatus::kSkipped:
+      return "skipped";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void emit_cells(std::ostream& os, const std::vector<CellResult>& results,
+                EmitFormat format) {
+  if (format == EmitFormat::kJson) {
+    util::JsonWriter w(os);
+    w.begin_array();
+    for (const auto& r : results) {
+      w.begin_object();
+      w.field("index", static_cast<std::uint64_t>(r.index));
+      w.field("tag", r.spec.tag);
+      w.field("scheduler", r.spec.scheduler);
+      w.field("params", describe(r.spec.params));
+      w.field("status", to_string(r.status));
+      w.field("wall_seconds", r.wall_seconds);
+      w.field("peak_rss_kib", static_cast<std::int64_t>(r.peak_rss_kib));
+      if (r.status == CellStatus::kFailed) w.field("error", r.error);
+      if (r.status == CellStatus::kOk) {
+        w.key("result");
+        w.raw(r.result.to_json());
+      }
+      w.end_object();
+    }
+    w.end_array();
+    os << "\n";
+    return;
+  }
+
+  ResultTable t("sweep cells",
+                {"index", "tag", "scheduler", "status", "wall_s",
+                 "peak_rss_kib", "total_energy_j", "mean_resp_s",
+                 "spin_up+down"});
+  for (const auto& r : results) {
+    t.row()
+        .cell(r.index)
+        .cell(r.spec.tag)
+        .cell(r.spec.scheduler)
+        .cell(to_string(r.status))
+        .cell(r.wall_seconds, 3)
+        .cell(static_cast<long long>(r.peak_rss_kib))
+        .cell(r.status == CellStatus::kOk ? r.result.total_energy() : 0.0)
+        .cell(r.status == CellStatus::kOk ? r.result.mean_response() : 0.0, 4)
+        .cell(r.status == CellStatus::kOk
+                  ? r.result.total_spin_ups() + r.result.total_spin_downs()
+                  : 0);
+  }
+  t.emit(os, format);
+}
+
+}  // namespace eas::runner

@@ -1,0 +1,123 @@
+#include "runner/experiment.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "trace/synthetic.hpp"
+#include "util/check.hpp"
+
+namespace eas::runner {
+
+const char* to_string(Workload w) {
+  return w == Workload::kCello ? "cello" : "financial1";
+}
+
+std::optional<Workload> workload_from_string(std::string_view name) {
+  for (const Workload w : kAllWorkloads) {
+    if (name == to_string(w)) return w;
+  }
+  return std::nullopt;
+}
+
+void ExperimentParams::validate() const {
+  EAS_CHECK_MSG(num_requests > 0, "experiment with zero requests");
+  EAS_CHECK_MSG(num_disks > 0, "experiment with zero disks");
+  EAS_CHECK_MSG(replication_factor >= 1 &&
+                    replication_factor <= static_cast<unsigned>(num_disks),
+                "replication factor " << replication_factor
+                                      << " not in 1.." << num_disks);
+  EAS_CHECK_MSG(zipf_z >= 0.0 && zipf_z <= 1.0,
+                "zipf_z " << zipf_z << " outside [0, 1]");
+  EAS_CHECK_MSG(batch_interval > 0.0,
+                "batch interval must be positive, got " << batch_interval);
+  EAS_CHECK_MSG(cost.alpha >= 0.0 && cost.alpha <= 1.0,
+                "cost alpha " << cost.alpha << " outside [0, 1]");
+  EAS_CHECK_MSG(cost.beta > 0.0, "cost beta must be positive");
+  EAS_CHECK_MSG(mwis_horizon >= 1, "mwis horizon must be >= 1");
+}
+
+ExperimentParams ExperimentBuilder::build() const {
+  p_.validate();
+  return p_;
+}
+
+trace::Trace make_workload(Workload w, std::uint64_t seed,
+                           std::size_t num_requests) {
+  trace::SyntheticTraceConfig cfg = w == Workload::kCello
+                                        ? trace::cello_like_config(seed)
+                                        : trace::financial_like_config(seed);
+  cfg.num_requests = num_requests;
+  return trace::make_synthetic_trace(cfg);
+}
+
+std::shared_ptr<const trace::Trace> make_shared_workload(
+    const ExperimentParams& p) {
+  return std::make_shared<const trace::Trace>(
+      make_workload(p.workload, p.trace_seed, p.num_requests));
+}
+
+placement::PlacementMap make_placement(const ExperimentParams& p) {
+  placement::ZipfPlacementConfig cfg;
+  cfg.num_disks = p.num_disks;
+  // The data universe must cover every id the workload references.
+  cfg.num_data = 32768;
+  cfg.replication_factor = p.replication_factor;
+  cfg.zipf_z = p.zipf_z;
+  cfg.seed = p.placement_seed;
+  return placement::make_zipf_placement(cfg);
+}
+
+std::shared_ptr<const placement::PlacementMap> make_shared_placement(
+    const ExperimentParams& p) {
+  return std::make_shared<const placement::PlacementMap>(make_placement(p));
+}
+
+storage::SystemConfig paper_system_config() {
+  storage::SystemConfig cfg;  // DiskPowerParams/DiskPerfParams defaults are
+                              // the Fig 5 values; see disk/params.hpp.
+  cfg.initial_state = disk::DiskState::Standby;
+  return cfg;
+}
+
+storage::SystemConfig system_config_for(const ExperimentParams& p) {
+  storage::SystemConfig cfg = paper_system_config();
+  cfg.initial_state = p.initial_state;
+  return cfg;
+}
+
+std::string describe(const ExperimentParams& p) {
+  std::ostringstream os;
+  os << "workload=" << to_string(p.workload) << " requests="
+     << p.num_requests << " disks=" << p.num_disks
+     << " rf=" << p.replication_factor << " zipf_z=" << p.zipf_z
+     << " alpha=" << p.cost.alpha << " beta=" << p.cost.beta
+     << " batch=" << p.batch_interval << "s";
+  return os.str();
+}
+
+namespace {
+
+// strtoull accepts a leading '-' and wraps it through unsigned arithmetic,
+// so "-3" would read as a huge thread count; treat any sign as unparseable.
+std::size_t positive_from_env(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '-' || *env == '+') return 0;
+  return std::strtoull(env, nullptr, 10);
+}
+
+}  // namespace
+
+std::size_t requests_from_env(std::size_t fallback) {
+  const auto n = positive_from_env("EAS_REQUESTS");
+  return n > 0 ? n : fallback;
+}
+
+std::size_t threads_from_env() {
+  const auto n = positive_from_env("EAS_THREADS");
+  if (n > 0) return n;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace eas::runner

@@ -1,0 +1,172 @@
+#include "runner/registry.hpp"
+
+#include <sstream>
+
+#include "core/basic_schedulers.hpp"
+#include "core/cost_scheduler.hpp"
+#include "core/mwis_scheduler.hpp"
+#include "core/wsc_scheduler.hpp"
+#include "power/fixed_threshold.hpp"
+#include "util/check.hpp"
+
+namespace eas::runner {
+
+const char* to_string(ExecutionModel m) {
+  switch (m) {
+    case ExecutionModel::kAlwaysOn:
+      return "always-on";
+    case ExecutionModel::kOnline:
+      return "online";
+    case ExecutionModel::kBatch:
+      return "batch";
+    case ExecutionModel::kOffline:
+      return "offline";
+  }
+  return "?";
+}
+
+SchedulerRegistry SchedulerRegistry::paper_roster() {
+  SchedulerRegistry r;
+  r.add({"always-on", ExecutionModel::kAlwaysOn,
+         "all disks idle forever (energy baseline)",
+         [](const ExperimentParams&, const placement::PlacementMap&) {
+           return SchedulerBundle{};  // run_always_on fixes everything
+         }});
+  r.add({"random", ExecutionModel::kOnline,
+         "uniformly random replica, 2CPM",
+         [](const ExperimentParams& p, const placement::PlacementMap&) {
+           SchedulerBundle b;
+           b.online =
+               std::make_unique<core::RandomScheduler>(p.trace_seed ^ 0x5eedULL);
+           b.policy = std::make_unique<power::FixedThresholdPolicy>();
+           return b;
+         }});
+  r.add({"static", ExecutionModel::kOnline,
+         "original data location, 2CPM",
+         [](const ExperimentParams&, const placement::PlacementMap&) {
+           SchedulerBundle b;
+           b.online = std::make_unique<core::StaticScheduler>();
+           b.policy = std::make_unique<power::FixedThresholdPolicy>();
+           return b;
+         }});
+  r.add({"heuristic", ExecutionModel::kOnline,
+         "Eq. 6 composite-cost online heuristic, 2CPM",
+         [](const ExperimentParams& p, const placement::PlacementMap&) {
+           SchedulerBundle b;
+           b.online = std::make_unique<core::CostFunctionScheduler>(p.cost);
+           b.policy = std::make_unique<power::FixedThresholdPolicy>();
+           return b;
+         }});
+  r.add({"wsc", ExecutionModel::kBatch,
+         "weighted-set-cover batch scheduler, 2CPM",
+         [](const ExperimentParams& p, const placement::PlacementMap&) {
+           SchedulerBundle b;
+           b.batch = std::make_unique<core::WscBatchScheduler>(
+               p.batch_interval, p.cost);
+           b.policy = std::make_unique<power::FixedThresholdPolicy>();
+           return b;
+         }});
+  r.add({"mwis", ExecutionModel::kOffline,
+         "offline conflict-graph MWIS schedule under the oracle policy",
+         [](const ExperimentParams& p, const placement::PlacementMap&) {
+           core::MwisOptions opts;
+           opts.algorithm = core::MwisOptions::Algorithm::kGwmin;
+           opts.graph.successor_horizon = p.mwis_horizon;
+           opts.refine_passes = p.mwis_refine_passes;
+           SchedulerBundle b;
+           b.offline = std::make_unique<core::MwisOfflineScheduler>(opts);
+           return b;
+         }});
+  return r;
+}
+
+const SchedulerRegistry& SchedulerRegistry::global() {
+  static const SchedulerRegistry roster = paper_roster();
+  return roster;
+}
+
+void SchedulerRegistry::add(SchedulerSpec spec) {
+  EAS_CHECK_MSG(!spec.name.empty(), "scheduler spec with empty name");
+  EAS_CHECK_MSG(static_cast<bool>(spec.make),
+                "scheduler spec '" << spec.name << "' has no factory");
+  EAS_CHECK_MSG(!contains(spec.name),
+                "duplicate scheduler spec '" << spec.name << "'");
+  specs_.push_back(std::move(spec));
+}
+
+const SchedulerSpec* SchedulerRegistry::find(std::string_view name) const {
+  for (const auto& s : specs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const SchedulerSpec& SchedulerRegistry::at(std::string_view name) const {
+  const SchedulerSpec* s = find(name);
+  if (s == nullptr) {
+    std::ostringstream os;
+    os << "unknown scheduler row: " << name << " (known:";
+    for (const auto& spec : specs_) os << ' ' << spec.name;
+    os << ')';
+    throw InvariantError(os.str());
+  }
+  return *s;
+}
+
+std::vector<std::string> SchedulerRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& s : specs_) out.push_back(s.name);
+  return out;
+}
+
+storage::RunResult run_cell(const SchedulerSpec& spec,
+                            const ExperimentParams& p,
+                            const trace::Trace& trace,
+                            const placement::PlacementMap& placement) {
+  p.validate();
+  const storage::SystemConfig config = system_config_for(p);
+  if (spec.model == ExecutionModel::kAlwaysOn) {
+    return storage::run_always_on(config, placement, trace);
+  }
+
+  SchedulerBundle bundle = spec.make(p, placement);
+  switch (spec.model) {
+    case ExecutionModel::kOnline: {
+      EAS_CHECK_MSG(bundle.online && bundle.policy,
+                    "spec '" << spec.name
+                             << "' (online) must build scheduler + policy");
+      return storage::run_online(config, placement, trace, *bundle.online,
+                                 *bundle.policy);
+    }
+    case ExecutionModel::kBatch: {
+      EAS_CHECK_MSG(bundle.batch && bundle.policy,
+                    "spec '" << spec.name
+                             << "' (batch) must build scheduler + policy");
+      return storage::run_batch(config, placement, trace, *bundle.batch,
+                                *bundle.policy);
+    }
+    case ExecutionModel::kOffline: {
+      EAS_CHECK_MSG(static_cast<bool>(bundle.offline),
+                    "spec '" << spec.name
+                             << "' (offline) must build a scheduler");
+      const auto assignment =
+          bundle.offline->schedule(trace, placement, config.power);
+      return storage::run_offline(config, placement, trace, assignment,
+                                  bundle.offline->name());
+    }
+    case ExecutionModel::kAlwaysOn:
+      break;  // handled above
+  }
+  EAS_CHECK_MSG(false, "unhandled execution model");
+  return {};
+}
+
+storage::RunResult run_cell(const SchedulerRegistry& registry,
+                            std::string_view name, const ExperimentParams& p,
+                            const trace::Trace& trace,
+                            const placement::PlacementMap& placement) {
+  return run_cell(registry.at(name), p, trace, placement);
+}
+
+}  // namespace eas::runner

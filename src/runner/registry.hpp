@@ -1,0 +1,97 @@
+// SchedulerSpec registry: the single name → scheduler table.
+//
+// Replaces the per-bench run_* free functions and their string dispatch.
+// A spec names an execution model (§2.2) plus a factory that builds a fresh,
+// thread-confined scheduler + power-policy pair for one sweep cell; the
+// registry owns the canonical §4.3 roster and accepts bench-local
+// extensions (threshold variants, predictive gammas, ...).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "power/policy.hpp"
+#include "runner/experiment.hpp"
+#include "storage/storage_system.hpp"
+
+namespace eas::runner {
+
+/// Which storage::run_* entry point executes the spec (§2.2 models plus the
+/// always-on baseline, which fixes its own policy and initial state).
+enum class ExecutionModel { kAlwaysOn, kOnline, kBatch, kOffline };
+
+const char* to_string(ExecutionModel m);
+
+/// A freshly constructed scheduler + policy pair for one run. Exactly the
+/// member matching the spec's model is set (policy accompanies online/batch;
+/// offline runs derive an OraclePolicy internally; always-on needs neither).
+/// Instances are thread-confined: SweepRunner calls the factory on the
+/// worker executing the cell and never shares the bundle across cells.
+struct SchedulerBundle {
+  std::unique_ptr<core::OnlineScheduler> online;
+  std::unique_ptr<core::BatchScheduler> batch;
+  std::unique_ptr<core::OfflineScheduler> offline;
+  std::unique_ptr<power::PowerPolicy> policy;
+};
+
+struct SchedulerSpec {
+  std::string name;
+  ExecutionModel model = ExecutionModel::kOnline;
+  /// One-line description shown by harness listings.
+  std::string description;
+  /// Builds the thread-confined scheduler+policy pair for one cell. Called
+  /// with the cell's validated params and its (immutable, possibly shared)
+  /// placement; must not capture mutable shared state.
+  std::function<SchedulerBundle(const ExperimentParams&,
+                                const placement::PlacementMap&)> make;
+};
+
+/// Ordered collection of specs. Copyable so a bench can start from the
+/// paper roster and add its own variants without mutating global state.
+class SchedulerRegistry {
+ public:
+  /// The six §4.3 rows: always-on, random, static, heuristic, wsc, mwis —
+  /// in that canonical order.
+  static SchedulerRegistry paper_roster();
+
+  /// Shared immutable paper roster (most benches need nothing else).
+  static const SchedulerRegistry& global();
+
+  /// Appends a spec. Throws InvariantError on an empty or duplicate name or
+  /// a missing factory.
+  void add(SchedulerSpec spec);
+
+  const SchedulerSpec* find(std::string_view name) const;
+  /// Like find() but throws InvariantError listing the known names.
+  const SchedulerSpec& at(std::string_view name) const;
+  bool contains(std::string_view name) const { return find(name) != nullptr; }
+
+  /// Registration order (the canonical row order for tables).
+  std::vector<std::string> names() const;
+  std::size_t size() const { return specs_.size(); }
+  const std::vector<SchedulerSpec>& specs() const { return specs_; }
+
+ private:
+  std::vector<SchedulerSpec> specs_;
+};
+
+/// Executes one (spec × params) cell: builds the bundle, runs the trace
+/// under the spec's model and returns the result. Deterministic in the
+/// params' seeds — identical inputs give bit-identical results regardless
+/// of the calling thread.
+storage::RunResult run_cell(const SchedulerSpec& spec,
+                            const ExperimentParams& p,
+                            const trace::Trace& trace,
+                            const placement::PlacementMap& placement);
+
+/// Name-based convenience over `registry.at(name)`.
+storage::RunResult run_cell(const SchedulerRegistry& registry,
+                            std::string_view name, const ExperimentParams& p,
+                            const trace::Trace& trace,
+                            const placement::PlacementMap& placement);
+
+}  // namespace eas::runner

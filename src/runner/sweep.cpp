@@ -1,0 +1,252 @@
+#include "runner/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <tuple>
+
+#include "util/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace eas::runner {
+
+namespace {
+
+long peak_rss_kib_now() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    return ru.ru_maxrss / 1024;  // bytes on macOS
+#else
+    return ru.ru_maxrss;  // KiB on Linux
+#endif
+  }
+#endif
+  return 0;
+}
+
+using TraceKey = std::tuple<Workload, std::uint64_t, std::size_t>;
+using PlacementKey = std::tuple<DiskId, unsigned, double, std::uint64_t>;
+
+TraceKey trace_key(const ExperimentParams& p) {
+  return {p.workload, p.trace_seed, p.num_requests};
+}
+
+PlacementKey placement_key(const ExperimentParams& p) {
+  return {p.num_disks, p.replication_factor, p.zipf_z, p.placement_seed};
+}
+
+/// Serial prefill of the immutable shared inputs: every distinct
+/// (workload, seed, n) trace and (disks, rf, z, seed) placement is built
+/// exactly once and shared by reference across all cells that use it.
+void attach_shared_inputs(std::vector<CellSpec>& cells) {
+  std::map<TraceKey, std::shared_ptr<const trace::Trace>> traces;
+  std::map<PlacementKey, std::shared_ptr<const placement::PlacementMap>>
+      placements;
+  for (auto& cell : cells) {
+    if (!cell.trace) {
+      auto& slot = traces[trace_key(cell.params)];
+      if (!slot) slot = make_shared_workload(cell.params);
+      cell.trace = slot;
+    }
+    if (!cell.placement) {
+      auto& slot = placements[placement_key(cell.params)];
+      if (!slot) slot = make_shared_placement(cell.params);
+      cell.placement = slot;
+    }
+  }
+}
+
+/// Bounded per-worker queues with stealing: each worker drains its own
+/// queue from the front and, when empty, steals from the back of the
+/// busiest sibling. All cells are known up front, so the queues never grow.
+class WorkQueues {
+ public:
+  WorkQueues(std::size_t num_workers, std::size_t num_cells)
+      : queues_(num_workers), mutexes_(num_workers) {
+    // Round-robin initial distribution keeps neighbouring (similar-cost)
+    // cells on different workers.
+    for (std::size_t i = 0; i < num_cells; ++i) {
+      queues_[i % num_workers].push_back(i);
+    }
+  }
+
+  /// Next cell for `worker`, stealing when its own queue is empty.
+  /// Returns false when no work remains anywhere.
+  bool next(std::size_t worker, std::size_t& out) {
+    {
+      std::lock_guard lock(mutexes_[worker]);
+      if (!queues_[worker].empty()) {
+        out = queues_[worker].front();
+        queues_[worker].pop_front();
+        return true;
+      }
+    }
+    for (std::size_t i = 1; i < queues_.size(); ++i) {
+      const std::size_t victim = (worker + i) % queues_.size();
+      std::lock_guard lock(mutexes_[victim]);
+      if (!queues_[victim].empty()) {
+        out = queues_[victim].back();
+        queues_[victim].pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::deque<std::size_t>> queues_;
+  std::vector<std::mutex> mutexes_;
+};
+
+}  // namespace
+
+SweepRunner::SweepRunner(SweepOptions opts)
+    : SweepRunner(SchedulerRegistry::global(), opts) {}
+
+SweepRunner::SweepRunner(const SchedulerRegistry& registry, SweepOptions opts)
+    : registry_(registry),
+      opts_(opts),
+      threads_(opts.threads > 0 ? opts.threads : threads_from_env()) {}
+
+std::vector<CellResult> SweepRunner::run(std::vector<CellSpec> cells) {
+  const auto sweep_start = std::chrono::steady_clock::now();
+
+  // Validate the whole grid and resolve registry names before spawning
+  // anything: a misdeclared grid should fail fast, not mid-sweep.
+  for (const auto& cell : cells) {
+    cell.params.validate();
+    if (!cell.run) registry_.at(cell.scheduler);
+  }
+  attach_shared_inputs(cells);
+
+  std::vector<CellResult> results(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    results[i].index = i;
+    results[i].spec = cells[i];
+    results[i].status = CellStatus::kSkipped;
+  }
+  if (cells.empty()) return results;
+
+  const std::size_t num_workers = std::max<std::size_t>(
+      1, std::min(threads_, cells.size()));
+  WorkQueues queues(num_workers, cells.size());
+  std::atomic<bool> cancelled{false};
+  std::mutex failure_mutex;
+  std::exception_ptr first_failure;
+
+  auto worker = [&](std::size_t id) {
+    std::size_t i = 0;
+    while (queues.next(id, i)) {
+      if (cancelled.load(std::memory_order_acquire)) continue;  // drain
+      CellResult& out = results[i];
+      const CellSpec& cell = cells[i];
+      const auto cell_start = std::chrono::steady_clock::now();
+      try {
+        storage::RunResult r =
+            cell.run ? cell.run(cell.params, *cell.trace, *cell.placement)
+                     : run_cell(registry_.at(cell.scheduler), cell.params,
+                                *cell.trace, *cell.placement);
+        // Materialize the SampleStore's lazy sort cache while the result is
+        // still thread-confined, so later concurrent readers of the
+        // (logically const) result do not race on it.
+        if (!r.response_times.empty()) r.response_times.sorted();
+        out.result = std::move(r);
+        out.status = CellStatus::kOk;
+      } catch (...) {
+        out.status = CellStatus::kFailed;
+        try {
+          std::rethrow_exception(std::current_exception());
+        } catch (const std::exception& e) {
+          out.error = e.what();
+        } catch (...) {
+          out.error = "unknown error";
+        }
+        {
+          std::lock_guard lock(failure_mutex);
+          if (!first_failure) first_failure = std::current_exception();
+        }
+        if (opts_.cancel_on_failure) {
+          cancelled.store(true, std::memory_order_release);
+        }
+      }
+      out.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        cell_start)
+              .count();
+      out.peak_rss_kib = peak_rss_kib_now();
+    }
+  };
+
+  if (num_workers == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(num_workers);
+    for (std::size_t t = 0; t < num_workers; ++t) {
+      pool.emplace_back(worker, t);
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  if (opts_.progress != nullptr) {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sweep_start)
+            .count();
+    std::size_t ok = 0;
+    for (const auto& r : results) ok += r.status == CellStatus::kOk;
+    *opts_.progress << "# sweep: " << ok << "/" << results.size()
+                    << " cells ok, " << num_workers << " thread"
+                    << (num_workers == 1 ? "" : "s") << ", " << wall
+                    << " s wall, peak rss " << peak_rss_kib_now() << " KiB\n";
+  }
+
+  if (opts_.rethrow_failure && first_failure) {
+    std::rethrow_exception(first_failure);
+  }
+  return results;
+}
+
+std::vector<CellSpec> product_grid(
+    const ExperimentParams& base, const std::vector<std::string>& schedulers,
+    const std::vector<std::string>& axis,
+    const std::function<ExperimentParams(const ExperimentParams& base,
+                                         const std::string& tag)>& configure) {
+  std::vector<CellSpec> cells;
+  cells.reserve(schedulers.size() * axis.size());
+  for (const auto& tag : axis) {
+    ExperimentParams p = configure ? configure(base, tag) : base;
+    p.validate();
+    for (const auto& name : schedulers) {
+      CellSpec cell;
+      cell.scheduler = name;
+      cell.params = p;
+      cell.tag = tag;
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+const CellResult& find_cell(const std::vector<CellResult>& results,
+                            std::string_view tag, std::string_view scheduler) {
+  for (const auto& r : results) {
+    if (r.spec.tag == tag && r.spec.scheduler == scheduler) return r;
+  }
+  EAS_CHECK_MSG(false,
+                "no sweep cell with tag '" << tag << "' and scheduler '"
+                                           << scheduler << "'");
+  std::abort();  // unreachable: EAS_CHECK_MSG throws
+}
+
+}  // namespace eas::runner

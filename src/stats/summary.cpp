@@ -55,7 +55,7 @@ double SummaryStats::cv() const {
 
 void SampleStore::add(double x) {
   samples_.push_back(x);
-  sorted_ = samples_.size() <= 1;
+  sorted_valid_ = false;
 }
 
 double SampleStore::mean() const {
@@ -66,11 +66,12 @@ double SampleStore::mean() const {
 }
 
 const std::vector<double>& SampleStore::sorted() const {
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
+  if (!sorted_valid_) {
+    sorted_cache_ = samples_;
+    std::sort(sorted_cache_.begin(), sorted_cache_.end());
+    sorted_valid_ = true;
   }
-  return samples_;
+  return sorted_cache_;
 }
 
 double SampleStore::quantile(double q) const {

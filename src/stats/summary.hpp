@@ -57,12 +57,19 @@ class SampleStore {
   /// P[response time > x] inverse CDF (Fig 12).
   double fraction_above(double x) const;
 
-  /// All samples in ascending order (sorts lazily, cached).
+  /// All samples in ascending order (lazily built, cached). The insertion
+  /// order of `samples_` is never disturbed, so mean() sums in completion
+  /// order and is reproducible bit-for-bit regardless of whether quantiles
+  /// were queried first. The lazy build itself is not thread-safe: callers
+  /// sharing a store across threads must materialize the cache once (call
+  /// sorted()) while still single-threaded — SweepRunner does this before
+  /// publishing a result.
   const std::vector<double>& sorted() const;
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = true;
+  std::vector<double> samples_;  ///< insertion (completion) order
+  mutable std::vector<double> sorted_cache_;
+  mutable bool sorted_valid_ = true;
 };
 
 }  // namespace eas::stats

@@ -1,10 +1,12 @@
 #include "storage/storage_system.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "core/basic_schedulers.hpp"
 #include "power/oracle.hpp"
 #include "util/check.hpp"
+#include "util/json.hpp"
 
 namespace eas::storage {
 
@@ -46,6 +48,65 @@ std::vector<double> RunResult::state_time_fractions(
     fractions.push_back(total > 0.0 ? s.seconds(state) / total : 0.0);
   }
   return fractions;
+}
+
+std::string RunResult::to_json(bool include_disks) const {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.field("scheduler", scheduler_name);
+  w.field("policy", policy_name);
+  w.field("horizon_seconds", horizon);
+  w.field("num_disks", static_cast<std::uint64_t>(disk_stats.size()));
+  w.field("total_requests", total_requests);
+  w.field("requests_waited_spinup", requests_waited_spinup);
+  w.field("total_energy_joules", total_energy());
+  w.field("spin_ups", total_spin_ups());
+  w.field("spin_downs", total_spin_downs());
+
+  w.key("response_seconds");
+  w.begin_object();
+  w.field("count", static_cast<std::uint64_t>(response_times.count()));
+  if (!response_times.empty()) {
+    w.field("mean", response_times.mean());
+    w.field("p50", response_times.median());
+    w.field("p90", response_times.p90());
+    w.field("p99", response_times.p99());
+    w.field("max", response_times.sorted().back());
+  }
+  w.end_object();
+
+  w.key("fleet_state_seconds");
+  w.begin_object();
+  for (int s = 0; s < disk::kNumDiskStates; ++s) {
+    double secs = 0.0;
+    for (const auto& ds : disk_stats) secs += ds.seconds_in_state[s];
+    w.field(disk::to_string(static_cast<disk::DiskState>(s)), secs);
+  }
+  w.end_object();
+
+  if (include_disks) {
+    w.key("disks");
+    w.begin_array();
+    for (const auto& ds : disk_stats) {
+      w.begin_object();
+      w.field("requests_served", ds.requests_served);
+      w.field("spin_ups", ds.spin_ups);
+      w.field("spin_downs", ds.spin_downs);
+      w.field("energy_joules", ds.total_joules());
+      w.key("state_seconds");
+      w.begin_object();
+      for (int s = 0; s < disk::kNumDiskStates; ++s) {
+        w.field(disk::to_string(static_cast<disk::DiskState>(s)),
+                ds.seconds_in_state[s]);
+      }
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  return os.str();
 }
 
 namespace {

@@ -46,6 +46,12 @@ struct RunResult {
   double normalized_energy(const disk::DiskPowerParams& p) const;
   /// Per-disk fraction of time in `state`, one entry per disk.
   std::vector<double> state_time_fractions(disk::DiskState state) const;
+
+  /// Serializes the result as a single JSON object so it survives process
+  /// boundaries (plotting scripts, result archives). Aggregates are always
+  /// present; `include_disks` additionally emits the per-disk stats array.
+  /// Keys are schema-stable — downstream consumers rely on them.
+  std::string to_json(bool include_disks = false) const;
 };
 
 /// Executes `trace` with an online scheduler: each request is dispatched to

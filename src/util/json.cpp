@@ -1,0 +1,138 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace eas::util {
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  EAS_CHECK(ec == std::errc());
+  std::string s(buf, ptr);
+  // to_chars may print integral doubles as "3" — already valid JSON.
+  return s;
+}
+
+void JsonWriter::element() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) os_ << ',';
+    has_element_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  element();
+  os_ << '{';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  EAS_CHECK(!has_element_.empty());
+  has_element_.pop_back();
+  os_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  element();
+  os_ << '[';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  EAS_CHECK(!has_element_.empty());
+  has_element_.pop_back();
+  os_ << ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  element();
+  os_ << json_quote(k) << ':';
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  element();
+  os_ << json_quote(v);
+}
+
+void JsonWriter::value(double v) {
+  element();
+  os_ << json_number(v);
+}
+
+void JsonWriter::integer(long long v) {
+  element();
+  os_ << v;
+}
+
+void JsonWriter::integer(unsigned long long v) {
+  element();
+  os_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  element();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  element();
+  os_ << "null";
+}
+
+void JsonWriter::raw(std::string_view json) {
+  element();
+  os_ << json;
+}
+
+}  // namespace eas::util

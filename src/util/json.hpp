@@ -1,0 +1,92 @@
+// Minimal JSON emission for result serialization.
+//
+// The sweep runner ships results across process boundaries (plotting
+// scripts, CI artifacts), so the encoder favours schema stability over
+// features: keys are emitted in insertion order, doubles use the shortest
+// round-trippable form, and there is no DOM — just a streaming writer.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace eas::util {
+
+/// Escapes `s` per RFC 8259 (quotes, backslash, control characters) and
+/// returns it wrapped in double quotes.
+std::string json_quote(std::string_view s);
+
+/// Shortest decimal string that round-trips to the same double ("1.5",
+/// "0.30000000000000004"). Non-finite values encode as null (JSON has no
+/// Inf/NaN).
+std::string json_number(double v);
+
+/// Streaming JSON writer with automatic comma placement. Usage:
+///
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.field("name", "wsc");
+///   w.key("rows"); w.begin_array(); ... w.end_array();
+///   w.end_object();
+///
+/// The writer trusts the caller to produce a well-formed nesting; it only
+/// tracks where commas are needed.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits `"k":` inside an object; must be followed by a value or a
+  /// begin_object/begin_array call.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(const std::string& v) { value(std::string_view(v)); }
+  void value(double v);
+  void value(bool v);
+  /// Any integer type (exact template match, so no conversion ambiguity).
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  void value(T v) {
+    if constexpr (std::is_signed_v<T>) {
+      integer(static_cast<long long>(v));
+    } else {
+      integer(static_cast<unsigned long long>(v));
+    }
+  }
+  void null();
+
+  /// Splices pre-serialized JSON in as one value (comma handling applies;
+  /// the caller guarantees `json` is well-formed).
+  void raw(std::string_view json);
+
+  template <typename T>
+  void field(std::string_view k, T&& v) {
+    key(k);
+    value(std::forward<T>(v));
+  }
+
+ private:
+  /// Writes the separating comma when this is not the first element at the
+  /// current nesting level.
+  void element();
+  void integer(long long v);
+  void integer(unsigned long long v);
+
+  std::ostream& os_;
+  /// One entry per open container: true once an element has been written.
+  std::vector<bool> has_element_;
+  bool after_key_ = false;
+};
+
+}  // namespace eas::util

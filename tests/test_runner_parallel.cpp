@@ -1,0 +1,373 @@
+// The SweepRunner's core contracts: bit-identical results regardless of
+// thread count, registry round-trip against hand-built scheduler stacks
+// (the former bench run_* free functions), failure propagation and
+// cancellation, shared-input caching, and the builder/name-table APIs.
+// These tests carry the sweep-smoke ctest label and run under the tsan
+// preset.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "core/basic_schedulers.hpp"
+#include "core/cost_scheduler.hpp"
+#include "core/mwis_scheduler.hpp"
+#include "core/wsc_scheduler.hpp"
+#include "power/fixed_threshold.hpp"
+#include "runner/sweep.hpp"
+#include "util/check.hpp"
+
+namespace eas {
+namespace {
+
+// Small enough to keep the suite fast, large enough that the schedulers make
+// non-trivial decisions (spin-ups, queueing, batching).
+constexpr std::size_t kRequests = 2000;
+
+runner::ExperimentParams small_params(unsigned rf = 3) {
+  return runner::ExperimentBuilder(runner::Workload::kCello)
+      .requests(kRequests)
+      .replication(rf)
+      .build();
+}
+
+void expect_identical(const storage::RunResult& a, const storage::RunResult& b,
+                      const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(a.scheduler_name, b.scheduler_name);
+  EXPECT_EQ(a.policy_name, b.policy_name);
+  EXPECT_EQ(a.horizon, b.horizon);  // bitwise, not approximate
+  EXPECT_EQ(a.total_requests, b.total_requests);
+  EXPECT_EQ(a.requests_waited_spinup, b.requests_waited_spinup);
+  EXPECT_EQ(a.total_energy(), b.total_energy());
+  EXPECT_EQ(a.total_spin_ups(), b.total_spin_ups());
+  EXPECT_EQ(a.total_spin_downs(), b.total_spin_downs());
+  EXPECT_EQ(a.response_times.count(), b.response_times.count());
+  if (!a.response_times.empty() && !b.response_times.empty()) {
+    EXPECT_EQ(a.response_times.mean(), b.response_times.mean());
+    EXPECT_EQ(a.response_times.sorted(), b.response_times.sorted());
+  }
+  ASSERT_EQ(a.disk_stats.size(), b.disk_stats.size());
+  for (std::size_t d = 0; d < a.disk_stats.size(); ++d) {
+    EXPECT_EQ(a.disk_stats[d].seconds_in_state, b.disk_stats[d].seconds_in_state);
+    EXPECT_EQ(a.disk_stats[d].joules_in_state, b.disk_stats[d].joules_in_state);
+    EXPECT_EQ(a.disk_stats[d].spin_ups, b.disk_stats[d].spin_ups);
+    EXPECT_EQ(a.disk_stats[d].spin_downs, b.disk_stats[d].spin_downs);
+    EXPECT_EQ(a.disk_stats[d].requests_served, b.disk_stats[d].requests_served);
+  }
+}
+
+// --- determinism across thread counts --------------------------------------
+
+TEST(SweepRunnerParallel, BitIdenticalAcrossThreadCounts) {
+  const auto base = small_params();
+  const std::vector<std::string> schedulers = {"random", "static", "heuristic",
+                                               "wsc", "mwis"};
+  const auto grid = [&] {
+    return runner::product_grid(
+        base, schedulers, {"1", "3"},
+        [](const runner::ExperimentParams& b, const std::string& tag) {
+          return runner::ExperimentBuilder(b)
+              .replication(static_cast<unsigned>(std::stoul(tag)))
+              .build();
+        });
+  };
+
+  // Serial reference, straight through run_cell with no pool involved.
+  std::vector<storage::RunResult> reference;
+  {
+    auto cells = grid();
+    for (const auto& cell : cells) {
+      const auto trace = runner::make_shared_workload(cell.params);
+      const auto placement = runner::make_shared_placement(cell.params);
+      reference.push_back(run_cell(runner::SchedulerRegistry::global(),
+                                   cell.scheduler, cell.params, *trace,
+                                   *placement));
+    }
+  }
+
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    runner::SweepOptions opts;
+    opts.threads = threads;
+    const auto results = runner::SweepRunner(opts).run(grid());
+    ASSERT_EQ(results.size(), reference.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      ASSERT_EQ(results[i].status, runner::CellStatus::kOk);
+      EXPECT_EQ(results[i].index, i);
+      EXPECT_GE(results[i].wall_seconds, 0.0);
+      expect_identical(results[i].result, reference[i],
+                       results[i].spec.scheduler + "/rf" +
+                           results[i].spec.tag + " @" +
+                           std::to_string(threads) + " threads");
+    }
+  }
+}
+
+TEST(SweepRunnerParallel, SharedInputsAreCachedAcrossCells) {
+  const auto base = small_params();
+  auto cells = runner::product_grid(base, {"static", "random"}, {"x"}, nullptr);
+  runner::SweepOptions opts;
+  opts.threads = 2;
+  const auto results = runner::SweepRunner(opts).run(std::move(cells));
+  ASSERT_EQ(results.size(), 2u);
+  // Same workload/seed/requests and same placement key ⇒ literally the same
+  // immutable objects, not copies.
+  EXPECT_EQ(results[0].spec.trace.get(), results[1].spec.trace.get());
+  EXPECT_EQ(results[0].spec.placement.get(), results[1].spec.placement.get());
+  EXPECT_NE(results[0].spec.trace.get(), nullptr);
+}
+
+// --- registry round-trip against the former run_* free functions -----------
+
+TEST(SchedulerRegistry, MatchesHandBuiltSchedulerStacks) {
+  const auto p = small_params(2);
+  const auto trace =
+      runner::make_workload(p.workload, p.trace_seed, p.num_requests);
+  const auto placement = runner::make_placement(p);
+  const auto config = runner::system_config_for(p);
+  const auto& reg = runner::SchedulerRegistry::global();
+
+  expect_identical(run_cell(reg, "always-on", p, trace, placement),
+                   storage::run_always_on(config, placement, trace),
+                   "always-on");
+  {
+    core::RandomScheduler sched(p.trace_seed ^ 0x5eedULL);
+    power::FixedThresholdPolicy policy;
+    expect_identical(run_cell(reg, "random", p, trace, placement),
+                     storage::run_online(config, placement, trace, sched,
+                                         policy),
+                     "random");
+  }
+  {
+    core::StaticScheduler sched;
+    power::FixedThresholdPolicy policy;
+    expect_identical(run_cell(reg, "static", p, trace, placement),
+                     storage::run_online(config, placement, trace, sched,
+                                         policy),
+                     "static");
+  }
+  {
+    core::CostFunctionScheduler sched(p.cost);
+    power::FixedThresholdPolicy policy;
+    expect_identical(run_cell(reg, "heuristic", p, trace, placement),
+                     storage::run_online(config, placement, trace, sched,
+                                         policy),
+                     "heuristic");
+  }
+  {
+    core::WscBatchScheduler sched(p.batch_interval, p.cost);
+    power::FixedThresholdPolicy policy;
+    expect_identical(run_cell(reg, "wsc", p, trace, placement),
+                     storage::run_batch(config, placement, trace, sched,
+                                        policy),
+                     "wsc");
+  }
+  {
+    core::MwisOptions opts;
+    opts.algorithm = core::MwisOptions::Algorithm::kGwmin;
+    opts.graph.successor_horizon = p.mwis_horizon;
+    opts.refine_passes = p.mwis_refine_passes;
+    core::MwisOfflineScheduler sched(opts);
+    const auto assignment = sched.schedule(trace, placement, config.power);
+    expect_identical(run_cell(reg, "mwis", p, trace, placement),
+                     storage::run_offline(config, placement, trace, assignment,
+                                          sched.name()),
+                     "mwis");
+  }
+}
+
+TEST(SchedulerRegistry, RosterOrderAndLookup) {
+  const auto& reg = runner::SchedulerRegistry::global();
+  const std::vector<std::string> expected = {"always-on", "random", "static",
+                                             "heuristic", "wsc", "mwis"};
+  EXPECT_EQ(reg.names(), expected);
+  EXPECT_TRUE(reg.contains("wsc"));
+  EXPECT_FALSE(reg.contains("nonsense"));
+  EXPECT_THROW(reg.at("nonsense"), InvariantError);
+}
+
+TEST(SchedulerRegistry, RejectsDuplicateAndMalformedSpecs) {
+  auto reg = runner::SchedulerRegistry::paper_roster();
+  runner::SchedulerSpec dup;
+  dup.name = "static";
+  dup.make = [](const runner::ExperimentParams&,
+                const placement::PlacementMap&) {
+    return runner::SchedulerBundle{};
+  };
+  EXPECT_THROW(reg.add(dup), InvariantError);
+  runner::SchedulerSpec unnamed = dup;
+  unnamed.name.clear();
+  EXPECT_THROW(reg.add(unnamed), InvariantError);
+  runner::SchedulerSpec no_factory;
+  no_factory.name = "hollow";
+  EXPECT_THROW(reg.add(no_factory), InvariantError);
+}
+
+TEST(SchedulerRegistry, AcceptsBenchLocalExtensions) {
+  auto reg = runner::SchedulerRegistry::paper_roster();
+  runner::SchedulerSpec eager;
+  eager.name = "heuristic-eager";
+  eager.model = runner::ExecutionModel::kOnline;
+  eager.make = [](const runner::ExperimentParams& p,
+                  const placement::PlacementMap&) {
+    runner::SchedulerBundle b;
+    b.online = std::make_unique<core::CostFunctionScheduler>(p.cost);
+    b.policy = std::make_unique<power::FixedThresholdPolicy>(1.0);
+    return b;
+  };
+  reg.add(std::move(eager));
+  EXPECT_EQ(reg.size(), 7u);
+
+  const auto p = runner::ExperimentBuilder(runner::Workload::kCello)
+                     .requests(300)
+                     .disks(12)
+                     .replication(2)
+                     .build();
+  const auto trace =
+      runner::make_workload(p.workload, p.trace_seed, p.num_requests);
+  const auto placement = runner::make_placement(p);
+  const auto r = run_cell(reg, "heuristic-eager", p, trace, placement);
+  EXPECT_EQ(r.total_requests, p.num_requests);
+}
+
+// --- failure propagation and cancellation -----------------------------------
+
+std::vector<runner::CellSpec> failing_grid(std::size_t n,
+                                           std::size_t failing_index) {
+  const auto p = runner::ExperimentBuilder(runner::Workload::kCello)
+                     .requests(10)
+                     .disks(4)
+                     .replication(1)
+                     .build();
+  std::vector<runner::CellSpec> cells;
+  for (std::size_t i = 0; i < n; ++i) {
+    runner::CellSpec cell;
+    cell.params = p;
+    cell.tag = std::to_string(i);
+    if (i == failing_index) {
+      cell.run = [](const runner::ExperimentParams&, const trace::Trace&,
+                    const placement::PlacementMap&) -> storage::RunResult {
+        throw std::runtime_error("cell exploded");
+      };
+    } else {
+      cell.run = [](const runner::ExperimentParams& cp, const trace::Trace&,
+                    const placement::PlacementMap&) {
+        storage::RunResult r;
+        r.scheduler_name = "stub";
+        r.total_requests = cp.num_requests;
+        return r;
+      };
+    }
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+TEST(SweepRunnerFailure, FirstFailureCancelsRemainingCells) {
+  runner::SweepOptions opts;
+  opts.threads = 1;  // deterministic ordering: cell 0 fails before 1..3 start
+  opts.rethrow_failure = false;
+  const auto results = runner::SweepRunner(opts).run(failing_grid(4, 0));
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].status, runner::CellStatus::kFailed);
+  EXPECT_NE(results[0].error.find("cell exploded"), std::string::npos);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].status, runner::CellStatus::kSkipped);
+  }
+}
+
+TEST(SweepRunnerFailure, RethrowsFirstFailureByDefault) {
+  runner::SweepOptions opts;
+  opts.threads = 2;
+  EXPECT_THROW(runner::SweepRunner(opts).run(failing_grid(3, 1)),
+               std::runtime_error);
+}
+
+TEST(SweepRunnerFailure, CancelOffRunsEveryCell) {
+  runner::SweepOptions opts;
+  opts.threads = 1;
+  opts.cancel_on_failure = false;
+  opts.rethrow_failure = false;
+  const auto results = runner::SweepRunner(opts).run(failing_grid(4, 0));
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].status, runner::CellStatus::kFailed);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].status, runner::CellStatus::kOk);
+    EXPECT_EQ(results[i].result.total_requests, 10u);
+  }
+}
+
+TEST(SweepRunnerFailure, MisdeclaredGridFailsBeforeRunning) {
+  auto cells = failing_grid(2, 99);  // no failing run hooks...
+  cells[1].run = nullptr;
+  cells[1].scheduler = "no-such-scheduler";  // ...but an unknown registry row
+  runner::SweepOptions opts;
+  opts.threads = 1;
+  EXPECT_THROW(runner::SweepRunner(opts).run(std::move(cells)),
+               InvariantError);
+}
+
+TEST(SweepRunner, EmptyGridIsANoOp) {
+  EXPECT_TRUE(runner::SweepRunner().run({}).empty());
+}
+
+// --- find_cell / builder / name-table edges ---------------------------------
+
+TEST(SweepRunner, FindCellThrowsOnUnknownKey) {
+  runner::SweepOptions opts;
+  opts.threads = 1;
+  opts.rethrow_failure = false;
+  const auto results = runner::SweepRunner(opts).run(failing_grid(2, 99));
+  EXPECT_EQ(&runner::find_cell(results, "1", "").spec.tag, &results[1].spec.tag);
+  EXPECT_THROW(runner::find_cell(results, "7", ""), InvariantError);
+}
+
+TEST(ExperimentBuilder, ValidatesOnBuild) {
+  EXPECT_THROW(runner::ExperimentBuilder().requests(0).build(),
+               InvariantError);
+  EXPECT_THROW(runner::ExperimentBuilder().replication(0).build(),
+               InvariantError);
+  EXPECT_THROW(
+      runner::ExperimentBuilder().disks(4).replication(5).build(),
+      InvariantError);
+  EXPECT_THROW(runner::ExperimentBuilder().zipf_z(1.5).build(),
+               InvariantError);
+  EXPECT_THROW(runner::ExperimentBuilder().batch_interval(0.0).build(),
+               InvariantError);
+  EXPECT_THROW(runner::ExperimentBuilder().alpha(-0.1).build(),
+               InvariantError);
+  EXPECT_THROW(runner::ExperimentBuilder().mwis(0, 1).build(),
+               InvariantError);
+  const auto p = runner::ExperimentBuilder(runner::Workload::kFinancial)
+                     .replication(5)
+                     .zipf_z(0.0)
+                     .build();
+  EXPECT_EQ(p.workload, runner::Workload::kFinancial);
+  EXPECT_EQ(p.replication_factor, 5u);
+}
+
+TEST(WorkloadNames, RoundTripThroughTheCanonicalTable) {
+  for (const auto w : runner::kAllWorkloads) {
+    const auto back = runner::workload_from_string(runner::to_string(w));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, w);
+  }
+  EXPECT_FALSE(runner::workload_from_string("tpc-c").has_value());
+}
+
+TEST(ThreadsFromEnv, ParsesAndClampsEAS_THREADS) {
+  ::setenv("EAS_THREADS", "3", 1);
+  EXPECT_EQ(runner::threads_from_env(), 3u);
+  ::setenv("EAS_THREADS", "0", 1);
+  EXPECT_GE(runner::threads_from_env(), 1u);
+  // strtoull would wrap "-3" to 2^64-3; signs must fall back to the default.
+  ::setenv("EAS_THREADS", "-3", 1);
+  EXPECT_LE(runner::threads_from_env(), 1024u);
+  ::setenv("EAS_THREADS", "garbage", 1);
+  EXPECT_GE(runner::threads_from_env(), 1u);
+  ::unsetenv("EAS_THREADS");
+  EXPECT_GE(runner::threads_from_env(), 1u);
+}
+
+}  // namespace
+}  // namespace eas
