@@ -111,7 +111,9 @@ int main(int argc, char** argv) {
                   << " selected=" << sched.last_selected_count()
                   << " claimed_saving=" << sched.last_selected_saving()
                   << " realized_saving=" << analytic.total_saving(power)
-                  << " ceiling=" << trace->size() * power.max_request_energy()
+                  << " ceiling="
+                  << static_cast<double>(trace->size()) *
+                         power.max_request_energy()
                   << "\n";
       }
     }

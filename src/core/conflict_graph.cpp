@@ -13,14 +13,14 @@ double ConflictGraph::selection_weight(
   std::vector<bool> in(nodes.size(), false);
   double total = 0.0;
   for (std::uint32_t v : selected) {
-    EAS_CHECK_MSG(v < nodes.size(), "selected node out of range");
-    EAS_CHECK_MSG(!in[v], "node " << v << " selected twice");
+    EAS_REQUIRE_MSG(v < nodes.size(), "selected node out of range");
+    EAS_REQUIRE_MSG(!in[v], "node " << v << " selected twice");
     in[v] = true;
     total += nodes[v].weight;
   }
   for (std::uint32_t v : selected) {
     for (std::uint32_t u : neighbors(v)) {
-      EAS_CHECK_MSG(!in[u], "selection is not independent: " << v << " ~ " << u);
+      EAS_REQUIRE_MSG(!in[u], "selection is not independent: " << v << " ~ " << u);
     }
   }
   return total;
@@ -79,7 +79,7 @@ ConflictGraph build_conflict_graph(const trace::Trace& trace,
                                    const placement::PlacementMap& placement,
                                    const disk::DiskPowerParams& power,
                                    const ConflictGraphOptions& options) {
-  EAS_CHECK_MSG(options.successor_horizon >= 1, "horizon must be >= 1");
+  EAS_REQUIRE_MSG(options.successor_horizon >= 1, "horizon must be >= 1");
   ConflictGraph g;
 
   // Per-disk time-ordered lists of requests whose data lives there.

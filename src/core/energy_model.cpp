@@ -8,7 +8,7 @@ namespace eas::core {
 
 double pairwise_energy_saving(double ti, double tj,
                               const disk::DiskPowerParams& p) {
-  EAS_CHECK_MSG(tj >= ti, "successor precedes request: " << tj << " < " << ti);
+  EAS_REQUIRE_MSG(tj >= ti, "successor precedes request: " << tj << " < " << ti);
   const double dt = tj - ti;
   if (dt >= p.saving_window_seconds()) return 0.0;
   const double x =
@@ -58,8 +58,8 @@ double marginal_energy_cost(const DiskSnapshot& s, double now,
 
 double composite_cost(const DiskSnapshot& s, double now,
                       const disk::DiskPowerParams& p, const CostParams& cp) {
-  EAS_CHECK_MSG(cp.beta > 0.0, "beta must be positive");
-  EAS_CHECK_MSG(cp.alpha >= 0.0 && cp.alpha <= 1.0,
+  EAS_REQUIRE_MSG(cp.beta > 0.0, "beta must be positive");
+  EAS_REQUIRE_MSG(cp.alpha >= 0.0 && cp.alpha <= 1.0,
                 "alpha must lie in [0,1], got " << cp.alpha);
   const double energy = marginal_energy_cost(s, now, p);
   const double perf = static_cast<double>(s.queued_requests);

@@ -58,7 +58,7 @@ OfflineReport evaluate_offline(const trace::Trace& trace,
                                DiskId num_disks,
                                const disk::DiskPowerParams& power,
                                double horizon) {
-  EAS_CHECK(assignment.disk_of_request.size() == trace.size());
+  EAS_REQUIRE(assignment.disk_of_request.size() == trace.size());
   power.validate();
   const double t_b = power.breakeven_seconds();
   const double t_up = power.spinup_seconds;
@@ -78,7 +78,7 @@ OfflineReport evaluate_offline(const trace::Trace& trace,
   std::vector<std::vector<std::uint32_t>> per_disk(num_disks);
   for (std::uint32_t r = 0; r < trace.size(); ++r) {
     const DiskId k = assignment.disk_of_request[r];
-    EAS_CHECK_MSG(k < num_disks, "assignment names unknown disk " << k);
+    EAS_REQUIRE_MSG(k < num_disks, "assignment names unknown disk " << k);
     per_disk[k].push_back(r);
   }
 

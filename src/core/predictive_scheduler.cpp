@@ -10,8 +10,8 @@ namespace eas::core {
 
 PredictiveCostScheduler::PredictiveCostScheduler(PredictiveParams params)
     : params_(params) {
-  EAS_CHECK_MSG(params_.gamma >= 0.0, "gamma must be non-negative");
-  EAS_CHECK_MSG(params_.rate_halflife_seconds > 0.0,
+  EAS_REQUIRE_MSG(params_.gamma >= 0.0, "gamma must be non-negative");
+  EAS_REQUIRE_MSG(params_.rate_halflife_seconds > 0.0,
                 "rate half-life must be positive");
   decay_lambda_ = std::log(2.0) / params_.rate_halflife_seconds;
 }

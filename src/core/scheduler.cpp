@@ -9,12 +9,12 @@ namespace eas::core {
 void OfflineAssignment::validate(
     const trace::Trace& trace,
     const placement::PlacementMap& placement) const {
-  EAS_CHECK_MSG(disk_of_request.size() == trace.size(),
+  EAS_ENSURE_MSG(disk_of_request.size() == trace.size(),
                 "assignment covers " << disk_of_request.size() << " of "
                                      << trace.size() << " requests");
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const DiskId k = disk_of_request[i];
-    EAS_CHECK_MSG(placement.stores(trace[i].data, k),
+    EAS_ENSURE_MSG(placement.stores(trace[i].data, k),
                   "request " << i << " assigned to disk " << k
                              << " which lacks data " << trace[i].data);
   }
@@ -22,10 +22,10 @@ void OfflineAssignment::validate(
 
 std::vector<std::vector<double>> OfflineAssignment::arrivals_by_disk(
     const trace::Trace& trace, DiskId num_disks) const {
-  EAS_CHECK(disk_of_request.size() == trace.size());
+  EAS_REQUIRE(disk_of_request.size() == trace.size());
   std::vector<std::vector<double>> by_disk(num_disks);
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    EAS_CHECK_MSG(disk_of_request[i] < num_disks,
+    EAS_REQUIRE_MSG(disk_of_request[i] < num_disks,
                   "assignment references disk " << disk_of_request[i]);
     by_disk[disk_of_request[i]].push_back(trace[i].time);
   }

@@ -51,6 +51,8 @@ std::vector<DiskId> WscBatchScheduler::assign(
       build_instance(batch, view, candidate_disks);
   const graph::SetCoverSolution cover =
       graph::greedy_weighted_set_cover(instance);
+  // Theorem 2 only holds if the chosen disks actually cover the batch.
+  if constexpr (audit_enabled()) graph::check_cover(cover, instance);
 
   // Each request goes to the first chosen set (in greedy order) holding its
   // data — the set that "paid" for covering it.
@@ -61,8 +63,14 @@ std::vector<DiskId> WscBatchScheduler::assign(
     }
   }
   for (std::size_t e = 0; e < batch.size(); ++e) {
-    EAS_CHECK_MSG(assignment[e] != kInvalidDisk,
-                  "set cover left request " << e << " unassigned");
+    EAS_ENSURE_MSG(assignment[e] != kInvalidDisk,
+                   "set cover left request " << e << " unassigned");
+    // The assigned disk must hold a replica of the requested data, or the
+    // "serviced from a replica" premise of the whole model is broken.
+    EAS_AUDIT_MSG(view.placement().stores(batch[e].data, assignment[e]),
+                  "request " << e << " assigned to disk " << assignment[e]
+                             << " which does not store data "
+                             << batch[e].data);
   }
   return assignment;
 }

@@ -24,7 +24,7 @@ class WscBatchScheduler final : public BatchScheduler {
                              CostParams cost = {},
                              WeightMode mode = WeightMode::kCompositeCost)
       : interval_(interval_seconds), cost_(cost), mode_(mode) {
-    EAS_CHECK_MSG(interval_ > 0.0, "batch interval must be positive");
+    EAS_REQUIRE_MSG(interval_ > 0.0, "batch interval must be positive");
   }
 
   std::string name() const override;

@@ -55,18 +55,42 @@ double Disk::power_of(DiskState s) const {
 
 void Disk::flush_accounting() {
   const sim::SimTime now = sim_.now();
-  EAS_DCHECK(now >= accounted_until_);
+  EAS_ASSERT_MSG(now >= accounted_until_,
+                 "accounting horizon ahead of the clock");
   const double dt = now - accounted_until_;
   if (dt > 0.0) {
     const int s = static_cast<int>(state_);
     stats_.seconds_in_state[s] += dt;
     stats_.joules_in_state[s] += dt * power_of(state_);
+    // Powers and dt are non-negative, so the meters can only grow; a
+    // negative reading means the accounting itself is corrupt.
+    EAS_ASSERT_MSG(stats_.joules_in_state[s] >= 0.0,
+                   "negative energy meter in state " << to_string(state_));
   }
   accounted_until_ = now;
 }
 
+namespace {
+
+/// Legal edges of the §2 power-state machine (row = from, col = to). Any
+/// transition outside this table is a scheduler/policy bug, not a modelling
+/// choice: hardware cannot e.g. abort a spin-down or jump Standby->Active.
+constexpr bool kLegalTransition[kNumDiskStates][kNumDiskStates] = {
+    //                to: Standby SpinUp Idle  Active SpinDown
+    /* from Standby  */ {false, true, false, false, false},
+    /* from SpinUp   */ {false, false, true, true, false},
+    /* from Idle     */ {false, false, false, true, true},
+    /* from Active   */ {false, false, true, false, false},
+    /* from SpinDown */ {true, false, false, false, false},
+};
+
+}  // namespace
+
 void Disk::transition_to(DiskState next) {
-  EAS_DCHECK(next != state_);
+  EAS_CHECK_MSG(
+      kLegalTransition[static_cast<int>(state_)][static_cast<int>(next)],
+      "illegal power transition " << to_string(state_) << " -> "
+                                  << to_string(next) << " on disk " << id_);
   flush_accounting();
   state_ = next;
   state_since_ = sim_.now();
@@ -148,10 +172,11 @@ void Disk::spin_up() {
 }
 
 void Disk::spin_down() {
-  EAS_CHECK_MSG(state_ == DiskState::Idle,
-                "spin_down from " << to_string(state_) << " on disk " << id_);
-  EAS_CHECK_MSG(queue_.empty() && !in_service_,
-                "spin_down with queued work on disk " << id_);
+  EAS_REQUIRE_MSG(state_ == DiskState::Idle,
+                  "spin_down from " << to_string(state_) << " on disk "
+                                    << id_);
+  EAS_REQUIRE_MSG(queue_.empty() && !in_service_,
+                  "spin_down with queued work on disk " << id_);
   transition_to(DiskState::SpinningDown);
   ++stats_.spin_downs;
   sim_.schedule_in(power_.spindown_seconds, [this] { on_spindown_done(); });
@@ -224,8 +249,8 @@ void Disk::complete_service() {
 }
 
 void Disk::finalize(sim::SimTime horizon) {
-  EAS_CHECK_MSG(horizon >= accounted_until_,
-                "finalize horizon precedes accounted time");
+  EAS_REQUIRE_MSG(horizon >= accounted_until_,
+                  "finalize horizon precedes accounted time");
   const double dt = horizon - accounted_until_;
   if (dt > 0.0) {
     const int s = static_cast<int>(state_);
@@ -233,6 +258,8 @@ void Disk::finalize(sim::SimTime horizon) {
     stats_.joules_in_state[s] += dt * power_of(state_);
   }
   accounted_until_ = horizon;
+  EAS_ENSURE_MSG(stats_.total_joules() >= 0.0 && stats_.total_seconds() >= 0.0,
+                 "negative cumulative accounting on disk " << id_);
 }
 
 }  // namespace eas::disk

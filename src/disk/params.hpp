@@ -66,11 +66,11 @@ struct DiskPowerParams {
 
   /// Throws InvariantError on physically meaningless configurations.
   void validate() const {
-    EAS_CHECK(idle_watts > 0.0);
-    EAS_CHECK(active_watts >= idle_watts);
-    EAS_CHECK(standby_watts >= 0.0 && standby_watts < idle_watts);
-    EAS_CHECK(spinup_watts >= 0.0 && spindown_watts >= 0.0);
-    EAS_CHECK(spinup_seconds >= 0.0 && spindown_seconds >= 0.0);
+    EAS_REQUIRE(idle_watts > 0.0);
+    EAS_REQUIRE(active_watts >= idle_watts);
+    EAS_REQUIRE(standby_watts >= 0.0 && standby_watts < idle_watts);
+    EAS_REQUIRE(spinup_watts >= 0.0 && spindown_watts >= 0.0);
+    EAS_REQUIRE(spinup_seconds >= 0.0 && spindown_seconds >= 0.0);
   }
 };
 
@@ -138,13 +138,13 @@ struct DiskPerfParams {
   }
 
   void validate() const {
-    EAS_CHECK(avg_seek_seconds >= 0.0);
-    EAS_CHECK(full_stroke_seek_seconds >= avg_seek_seconds);
-    EAS_CHECK(rpm > 0.0);
-    EAS_CHECK(transfer_mb_per_sec > 0.0);
-    EAS_CHECK(controller_overhead_seconds >= 0.0);
-    EAS_CHECK(num_cylinders > 0);
-    EAS_CHECK(seek_settle_seconds >= 0.0);
+    EAS_REQUIRE(avg_seek_seconds >= 0.0);
+    EAS_REQUIRE(full_stroke_seek_seconds >= avg_seek_seconds);
+    EAS_REQUIRE(rpm > 0.0);
+    EAS_REQUIRE(transfer_mb_per_sec > 0.0);
+    EAS_REQUIRE(controller_overhead_seconds >= 0.0);
+    EAS_REQUIRE(num_cylinders > 0);
+    EAS_REQUIRE(seek_settle_seconds >= 0.0);
   }
 };
 

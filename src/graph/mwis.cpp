@@ -51,6 +51,25 @@ double WeightedGraph::total_weight(
   return w;
 }
 
+void check_independent(const WeightedGraph& g,
+                       const std::vector<std::size_t>& vertices) {
+  std::vector<bool> in_set(g.size(), false);
+  for (std::size_t v : vertices) {
+    EAS_ENSURE_MSG(v < g.size(), "solution vertex " << v
+                                                    << " out of range (n="
+                                                    << g.size() << ")");
+    EAS_ENSURE_MSG(!in_set[v], "vertex " << v << " appears twice in solution");
+    in_set[v] = true;
+  }
+  for (std::size_t v : vertices) {
+    for (std::size_t u : g.neighbors(v)) {
+      EAS_ENSURE_MSG(!in_set[u], "solution is not independent: edge "
+                                     << v << " ~ " << u
+                                     << " has both endpoints selected");
+    }
+  }
+}
+
 namespace {
 
 /// Shared greedy skeleton: `score(v, alive, alive_degree)` ranks surviving
@@ -92,6 +111,7 @@ MwisSolution greedy_mwis(const WeightedGraph& g, ScoreFn score) {
     for (std::size_t u : g.neighbors(best)) kill(u);
   }
   std::sort(sol.vertices.begin(), sol.vertices.end());
+  if constexpr (audit_enabled()) check_independent(g, sol.vertices);
   return sol;
 }
 
@@ -203,7 +223,7 @@ struct ExactMwisState {
 }  // namespace
 
 MwisSolution exact_mwis(const WeightedGraph& g, std::size_t max_vertices) {
-  EAS_CHECK_MSG(g.size() <= max_vertices,
+  EAS_REQUIRE_MSG(g.size() <= max_vertices,
                 "exact_mwis instance too large (" << g.size() << " > "
                                                   << max_vertices << ")");
   ExactMwisState st;
@@ -217,6 +237,7 @@ MwisSolution exact_mwis(const WeightedGraph& g, std::size_t max_vertices) {
   sol.vertices = st.best;
   std::sort(sol.vertices.begin(), sol.vertices.end());
   sol.total_weight = std::max(0.0, st.best_weight);
+  if constexpr (audit_enabled()) check_independent(g, sol.vertices);
   return sol;
 }
 

@@ -52,6 +52,13 @@ struct MwisSolution {
   double total_weight = 0.0;
 };
 
+/// Executable independence contract: throws InvariantError naming the first
+/// adjacent (or duplicate / out-of-range) pair when `vertices` is not an
+/// independent set in `g`. Solvers call this as a postcondition under
+/// EASCHED_AUDIT; tests call it directly to prove the contract fires.
+void check_independent(const WeightedGraph& g,
+                       const std::vector<std::size_t>& vertices);
+
 /// GWMIN of Sakai et al. [22]: take v maximising w(v)/(d(v)+1) among the
 /// surviving vertices, add it, delete N[v]; repeat. Guarantees total weight
 /// >= sum_v w(v)/(d(v)+1).

@@ -35,9 +35,26 @@ bool SetCoverSolution::covers(const SetCoverInstance& instance) const {
   return std::all_of(covered.begin(), covered.end(), [](bool b) { return b; });
 }
 
+void check_cover(const SetCoverSolution& sol,
+                 const SetCoverInstance& instance) {
+  std::vector<bool> covered(instance.num_elements, false);
+  for (std::size_t s : sol.chosen_sets) {
+    EAS_ENSURE_MSG(s < instance.sets.size(),
+                   "cover references set " << s << " but instance has only "
+                                           << instance.sets.size());
+    for (std::size_t e : instance.sets[s].elements) covered[e] = true;
+  }
+  for (std::size_t e = 0; e < instance.num_elements; ++e) {
+    EAS_ENSURE_MSG(covered[e], "cover leaves element "
+                                   << e << " uncovered ("
+                                   << sol.chosen_sets.size() << " sets chosen, "
+                                   << instance.num_elements << " elements)");
+  }
+}
+
 SetCoverSolution greedy_weighted_set_cover(const SetCoverInstance& instance) {
   instance.validate();
-  EAS_CHECK_MSG(instance.feasible(), "set cover instance is infeasible");
+  EAS_REQUIRE_MSG(instance.feasible(), "set cover instance is infeasible");
 
   std::vector<bool> covered(instance.num_elements, false);
   std::size_t remaining = instance.num_elements;
@@ -94,6 +111,7 @@ SetCoverSolution greedy_weighted_set_cover(const SetCoverInstance& instance) {
     }
     fresh_count[best_set] = 0;
   }
+  if constexpr (audit_enabled()) check_cover(sol, instance);
   return sol;
 }
 
@@ -179,6 +197,7 @@ std::optional<SetCoverSolution> exact_set_cover(
   SetCoverSolution sol;
   sol.chosen_sets = st.best;
   sol.total_weight = st.best_weight;
+  if constexpr (audit_enabled()) check_cover(sol, instance);
   return sol;
 }
 

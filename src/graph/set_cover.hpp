@@ -41,6 +41,12 @@ struct SetCoverSolution {
   bool covers(const SetCoverInstance& instance) const;
 };
 
+/// Executable cover contract: throws InvariantError naming the first
+/// uncovered element (or out-of-range set) when `sol` does not cover
+/// `instance`. Solvers call this as a postcondition under EASCHED_AUDIT;
+/// tests call it directly to prove the contract fires.
+void check_cover(const SetCoverSolution& sol, const SetCoverInstance& instance);
+
 /// Greedy H_n-approximation: repeatedly select the set minimising
 /// weight / (newly covered elements); zero-weight sets are free and picked
 /// first. Throws InvariantError if the instance is infeasible.

@@ -11,13 +11,18 @@ namespace eas::placement {
 PlacementMap::PlacementMap(DiskId num_disks,
                            std::vector<std::vector<DiskId>> locations)
     : num_disks_(num_disks), locations_(std::move(locations)) {
-  EAS_CHECK_MSG(num_disks_ > 0, "placement needs at least one disk");
+  EAS_REQUIRE_MSG(num_disks_ > 0, "placement needs at least one disk");
   for (DataId b = 0; b < locations_.size(); ++b) {
     auto& locs = locations_[b];
-    EAS_CHECK_MSG(!locs.empty(), "data " << b << " has no location");
+    EAS_REQUIRE_MSG(!locs.empty(), "data " << b << " has no location");
+    // Replica-count bound: distinct disks, so at most num_disks copies.
+    EAS_REQUIRE_MSG(locs.size() <= num_disks_,
+                    "data " << b << " has " << locs.size()
+                            << " replicas on a " << num_disks_
+                            << "-disk system");
     for (DiskId k : locs) {
-      EAS_CHECK_MSG(k < num_disks_,
-                    "data " << b << " placed on out-of-range disk " << k);
+      EAS_REQUIRE_MSG(k < num_disks_,
+                      "data " << b << " placed on out-of-range disk " << k);
     }
     // Duplicate copies on one disk are meaningless for scheduling and would
     // silently inflate the replica choice set.
@@ -76,6 +81,9 @@ PlacementMap make_zipf_placement(const ZipfPlacementConfig& cfg) {
         locs.push_back(k);
       }
     }
+    EAS_ENSURE_MSG(locs.size() == cfg.replication_factor,
+                   "data " << b << " got " << locs.size() << " replicas, want "
+                           << cfg.replication_factor);
   }
   return PlacementMap(cfg.num_disks, std::move(locations));
 }

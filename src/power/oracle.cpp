@@ -10,9 +10,9 @@ OraclePolicy::OraclePolicy(
     : arrivals_(std::move(arrivals_by_disk)),
       pre_spin_margin_(pre_spin_margin),
       cursor_(arrivals_.size(), 0) {
-  EAS_CHECK(pre_spin_margin_ >= 0.0);
+  EAS_REQUIRE(pre_spin_margin_ >= 0.0);
   for (const auto& v : arrivals_) {
-    EAS_CHECK_MSG(std::is_sorted(v.begin(), v.end()),
+    EAS_REQUIRE_MSG(std::is_sorted(v.begin(), v.end()),
                   "oracle arrivals must be sorted per disk");
   }
 }

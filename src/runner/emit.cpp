@@ -33,12 +33,12 @@ EmitFormat emit_format_from_env(EmitFormat fallback) {
 
 ResultTable::ResultTable(std::string title, std::vector<std::string> columns)
     : title_(std::move(title)), columns_(std::move(columns)) {
-  EAS_CHECK_MSG(!columns_.empty(), "result table needs at least one column");
+  EAS_REQUIRE_MSG(!columns_.empty(), "result table needs at least one column");
 }
 
 ResultTable& ResultTable::row() {
   if (!rows_.empty()) {
-    EAS_CHECK_MSG(rows_.back().size() == columns_.size(),
+    EAS_ENSURE_MSG(rows_.back().size() == columns_.size(),
                   "row " << rows_.size() - 1 << " has " << rows_.back().size()
                          << " cells, expected " << columns_.size());
   }
@@ -47,8 +47,8 @@ ResultTable& ResultTable::row() {
 }
 
 ResultTable::Cell& ResultTable::push(Cell c) {
-  EAS_CHECK_MSG(!rows_.empty(), "cell() before row()");
-  EAS_CHECK_MSG(rows_.back().size() < columns_.size(),
+  EAS_REQUIRE_MSG(!rows_.empty(), "cell() before row()");
+  EAS_REQUIRE_MSG(rows_.back().size() < columns_.size(),
                 "too many cells in row " << rows_.size() - 1);
   rows_.back().push_back(std::move(c));
   return rows_.back().back();
@@ -95,7 +95,7 @@ ResultTable& ResultTable::cell(unsigned long long v) {
 
 void ResultTable::emit(std::ostream& os, EmitFormat format) const {
   if (!rows_.empty()) {
-    EAS_CHECK_MSG(rows_.back().size() == columns_.size(),
+    EAS_ENSURE_MSG(rows_.back().size() == columns_.size(),
                   "last row has " << rows_.back().size()
                                   << " cells, expected " << columns_.size());
   }

@@ -21,20 +21,20 @@ std::optional<Workload> workload_from_string(std::string_view name) {
 }
 
 void ExperimentParams::validate() const {
-  EAS_CHECK_MSG(num_requests > 0, "experiment with zero requests");
-  EAS_CHECK_MSG(num_disks > 0, "experiment with zero disks");
-  EAS_CHECK_MSG(replication_factor >= 1 &&
+  EAS_REQUIRE_MSG(num_requests > 0, "experiment with zero requests");
+  EAS_REQUIRE_MSG(num_disks > 0, "experiment with zero disks");
+  EAS_REQUIRE_MSG(replication_factor >= 1 &&
                     replication_factor <= static_cast<unsigned>(num_disks),
                 "replication factor " << replication_factor
                                       << " not in 1.." << num_disks);
-  EAS_CHECK_MSG(zipf_z >= 0.0 && zipf_z <= 1.0,
+  EAS_REQUIRE_MSG(zipf_z >= 0.0 && zipf_z <= 1.0,
                 "zipf_z " << zipf_z << " outside [0, 1]");
-  EAS_CHECK_MSG(batch_interval > 0.0,
+  EAS_REQUIRE_MSG(batch_interval > 0.0,
                 "batch interval must be positive, got " << batch_interval);
-  EAS_CHECK_MSG(cost.alpha >= 0.0 && cost.alpha <= 1.0,
+  EAS_REQUIRE_MSG(cost.alpha >= 0.0 && cost.alpha <= 1.0,
                 "cost alpha " << cost.alpha << " outside [0, 1]");
-  EAS_CHECK_MSG(cost.beta > 0.0, "cost beta must be positive");
-  EAS_CHECK_MSG(mwis_horizon >= 1, "mwis horizon must be >= 1");
+  EAS_REQUIRE_MSG(cost.beta > 0.0, "cost beta must be positive");
+  EAS_REQUIRE_MSG(mwis_horizon >= 1, "mwis horizon must be >= 1");
 }
 
 ExperimentParams ExperimentBuilder::build() const {

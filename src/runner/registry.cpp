@@ -86,10 +86,10 @@ const SchedulerRegistry& SchedulerRegistry::global() {
 }
 
 void SchedulerRegistry::add(SchedulerSpec spec) {
-  EAS_CHECK_MSG(!spec.name.empty(), "scheduler spec with empty name");
-  EAS_CHECK_MSG(static_cast<bool>(spec.make),
+  EAS_REQUIRE_MSG(!spec.name.empty(), "scheduler spec with empty name");
+  EAS_REQUIRE_MSG(static_cast<bool>(spec.make),
                 "scheduler spec '" << spec.name << "' has no factory");
-  EAS_CHECK_MSG(!contains(spec.name),
+  EAS_REQUIRE_MSG(!contains(spec.name),
                 "duplicate scheduler spec '" << spec.name << "'");
   specs_.push_back(std::move(spec));
 }
@@ -133,21 +133,21 @@ storage::RunResult run_cell(const SchedulerSpec& spec,
   SchedulerBundle bundle = spec.make(p, placement);
   switch (spec.model) {
     case ExecutionModel::kOnline: {
-      EAS_CHECK_MSG(bundle.online && bundle.policy,
+      EAS_REQUIRE_MSG(bundle.online && bundle.policy,
                     "spec '" << spec.name
                              << "' (online) must build scheduler + policy");
       return storage::run_online(config, placement, trace, *bundle.online,
                                  *bundle.policy);
     }
     case ExecutionModel::kBatch: {
-      EAS_CHECK_MSG(bundle.batch && bundle.policy,
+      EAS_REQUIRE_MSG(bundle.batch && bundle.policy,
                     "spec '" << spec.name
                              << "' (batch) must build scheduler + policy");
       return storage::run_batch(config, placement, trace, *bundle.batch,
                                 *bundle.policy);
     }
     case ExecutionModel::kOffline: {
-      EAS_CHECK_MSG(static_cast<bool>(bundle.offline),
+      EAS_REQUIRE_MSG(static_cast<bool>(bundle.offline),
                     "spec '" << spec.name
                              << "' (offline) must build a scheduler");
       const auto assignment =

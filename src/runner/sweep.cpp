@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <deque>
 #include <exception>
 #include <map>
@@ -64,6 +65,61 @@ void attach_shared_inputs(std::vector<CellSpec>& cells) {
       cell.placement = slot;
     }
   }
+}
+
+// --- cell-isolation audit ---------------------------------------------------
+// The determinism contract says cells share only *immutable* inputs. Under
+// the audit tier every distinct shared trace/placement is fingerprinted
+// before the workers start and re-checked after they join: any drift means a
+// cell mutated shared state, i.e. results depend on thread interleaving.
+
+std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xffULL;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t double_bits(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+std::uint64_t fingerprint(const trace::Trace& t) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& r : t.records()) {
+    h = fnv1a_mix(h, double_bits(r.time));
+    h = fnv1a_mix(h, (static_cast<std::uint64_t>(r.data) << 1) |
+                         static_cast<std::uint64_t>(r.is_read));
+    h = fnv1a_mix(h, static_cast<std::uint64_t>(r.size_bytes));
+  }
+  return h;
+}
+
+std::uint64_t fingerprint(const placement::PlacementMap& p) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a_mix(h, p.num_disks());
+  for (DataId b = 0; b < p.num_data(); ++b) {
+    for (DiskId k : p.locations(b)) h = fnv1a_mix(h, k);
+  }
+  return h;
+}
+
+/// Snapshot of every distinct shared input's fingerprint, keyed by address.
+std::map<const void*, std::uint64_t> input_fingerprints(
+    const std::vector<CellSpec>& cells) {
+  std::map<const void*, std::uint64_t> fp;
+  for (const auto& cell : cells) {
+    if (cell.trace && !fp.contains(cell.trace.get())) {
+      fp[cell.trace.get()] = fingerprint(*cell.trace);
+    }
+    if (cell.placement && !fp.contains(cell.placement.get())) {
+      fp[cell.placement.get()] = fingerprint(*cell.placement);
+    }
+  }
+  return fp;
 }
 
 /// Bounded per-worker queues with stealing: each worker drains its own
@@ -128,6 +184,11 @@ std::vector<CellResult> SweepRunner::run(std::vector<CellSpec> cells) {
     if (!cell.run) registry_.at(cell.scheduler);
   }
   attach_shared_inputs(cells);
+
+  std::map<const void*, std::uint64_t> pre_fingerprints;
+  if constexpr (audit_enabled()) {
+    pre_fingerprints = input_fingerprints(cells);
+  }
 
   std::vector<CellResult> results(cells.size());
   for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -196,6 +257,23 @@ std::vector<CellResult> SweepRunner::run(std::vector<CellSpec> cells) {
       pool.emplace_back(worker, t);
     }
     for (auto& t : pool) t.join();
+  }
+
+  if constexpr (audit_enabled()) {
+    const auto post = input_fingerprints(cells);
+    for (const auto& [ptr, fp] : pre_fingerprints) {
+      const auto it = post.find(ptr);
+      EAS_CHECK_MSG(it != post.end() && it->second == fp,
+                    "cell isolation violated: a shared immutable input "
+                    "(trace/placement) changed during the sweep");
+    }
+    // Every result slot must belong to its own cell: slot i holds index i and
+    // a definite status (no torn/unwritten entries after the join).
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EAS_CHECK_MSG(results[i].index == i,
+                    "result slot " << i << " carries index "
+                                   << results[i].index);
+    }
   }
 
   if (opts_.progress != nullptr) {

@@ -5,10 +5,10 @@
 namespace eas::sim {
 
 EventHandle Simulator::schedule_at(SimTime when, Callback fn) {
-  EAS_CHECK_MSG(std::isfinite(when), "event time must be finite");
-  EAS_CHECK_MSG(when >= now_, "cannot schedule in the past: when=" << when
-                                                                   << " now=" << now_);
-  EAS_CHECK_MSG(static_cast<bool>(fn), "null event callback");
+  EAS_REQUIRE_MSG(std::isfinite(when), "event time must be finite");
+  EAS_REQUIRE_MSG(when >= now_, "cannot schedule in the past: when="
+                                    << when << " now=" << now_);
+  EAS_REQUIRE_MSG(static_cast<bool>(fn), "null event callback");
   const std::uint64_t id = next_id_++;
   queue_.push(Entry{when, next_seq_++, id});
   callbacks_.emplace(id, std::move(fn));
@@ -17,7 +17,7 @@ EventHandle Simulator::schedule_at(SimTime when, Callback fn) {
 }
 
 EventHandle Simulator::schedule_in(SimTime delay, Callback fn) {
-  EAS_CHECK_MSG(delay >= 0.0, "negative delay " << delay);
+  EAS_REQUIRE_MSG(delay >= 0.0, "negative delay " << delay);
   return schedule_at(now_ + delay, std::move(fn));
 }
 
@@ -25,6 +25,8 @@ bool Simulator::cancel(EventHandle h) {
   if (!h.valid()) return false;
   const auto erased = callbacks_.erase(h.id_);
   if (erased > 0) --live_events_;
+  EAS_ASSERT_MSG(live_events_ == callbacks_.size(),
+                 "live-event count drifted from callback table");
   return erased > 0;  // heap entry becomes a tombstone, skipped lazily
 }
 
@@ -49,7 +51,12 @@ SimTime Simulator::next_event_time() const {
 
 void Simulator::fire(const Entry& e) {
   auto it = callbacks_.find(e.id);
-  EAS_DCHECK(it != callbacks_.end());
+  EAS_ASSERT(it != callbacks_.end());
+  // The clock is monotonic by construction (schedule_at rejects the past and
+  // the heap pops in time order); a violation here means the queue ordering
+  // itself is corrupt.
+  EAS_ASSERT_MSG(e.time >= now_, "event would move the clock backwards: "
+                                     << e.time << " < " << now_);
   // Move the callback out before invoking: the callback may schedule or
   // cancel other events (rehashing callbacks_) or even re-enter step().
   Callback fn = std::move(it->second);
@@ -76,7 +83,7 @@ std::uint64_t Simulator::run() {
 }
 
 std::uint64_t Simulator::run_until(SimTime until) {
-  EAS_CHECK_MSG(until >= now_, "run_until target in the past");
+  EAS_REQUIRE_MSG(until >= now_, "run_until target in the past");
   std::uint64_t n = 0;
   while (true) {
     drop_cancelled();

@@ -8,9 +8,9 @@
 namespace eas::stats {
 
 Histogram::Histogram(double min_value, double max_value, int bins_per_decade) {
-  EAS_CHECK_MSG(min_value > 0.0, "log histogram needs positive min");
-  EAS_CHECK_MSG(max_value > min_value, "max must exceed min");
-  EAS_CHECK_MSG(bins_per_decade >= 1, "need at least one bin per decade");
+  EAS_REQUIRE_MSG(min_value > 0.0, "log histogram needs positive min");
+  EAS_REQUIRE_MSG(max_value > min_value, "max must exceed min");
+  EAS_REQUIRE_MSG(bins_per_decade >= 1, "need at least one bin per decade");
   log_min_ = std::log10(min_value);
   log_step_ = 1.0 / bins_per_decade;
   const double decades = std::log10(max_value) - log_min_;
@@ -32,12 +32,12 @@ void Histogram::add(double value, std::uint64_t count) {
 }
 
 double Histogram::bin_lower(std::size_t bin) const {
-  EAS_CHECK(bin < counts_.size());
+  EAS_REQUIRE(bin < counts_.size());
   return std::pow(10.0, log_min_ + log_step_ * static_cast<double>(bin));
 }
 
 double Histogram::bin_upper(std::size_t bin) const {
-  EAS_CHECK(bin < counts_.size());
+  EAS_REQUIRE(bin < counts_.size());
   return std::pow(10.0, log_min_ + log_step_ * static_cast<double>(bin + 1));
 }
 
@@ -46,8 +46,8 @@ double Histogram::bin_mid(std::size_t bin) const {
 }
 
 double Histogram::quantile_estimate(double q) const {
-  EAS_CHECK_MSG(total_ > 0, "quantile of empty histogram");
-  EAS_CHECK(q >= 0.0 && q <= 1.0);
+  EAS_REQUIRE_MSG(total_ > 0, "quantile of empty histogram");
+  EAS_REQUIRE(q >= 0.0 && q <= 1.0);
   const double target = q * static_cast<double>(total_);
   double acc = 0.0;
   for (std::size_t b = 0; b < counts_.size(); ++b) {

@@ -75,8 +75,8 @@ const std::vector<double>& SampleStore::sorted() const {
 }
 
 double SampleStore::quantile(double q) const {
-  EAS_CHECK_MSG(!samples_.empty(), "quantile of empty store");
-  EAS_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile out of range: " << q);
+  EAS_REQUIRE_MSG(!samples_.empty(), "quantile of empty store");
+  EAS_REQUIRE_MSG(q >= 0.0 && q <= 1.0, "quantile out of range: " << q);
   const auto& s = sorted();
   if (s.size() == 1) return s.front();
   const double pos = q * static_cast<double>(s.size() - 1);

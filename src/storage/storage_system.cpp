@@ -152,7 +152,7 @@ class System final : public core::SystemView {
   /// Routes a request to disk k, notifying the power policy first so stale
   /// spin-down timers are cancelled before the disk sees the work.
   void dispatch(disk::Request r, DiskId k) {
-    EAS_CHECK_MSG(placement_.stores(r.data, k),
+    EAS_REQUIRE_MSG(placement_.stores(r.data, k),
                   "scheduler sent data " << r.data << " to disk " << k
                                          << " which does not store it");
     dispatch_unchecked(r, k);
@@ -161,7 +161,7 @@ class System final : public core::SystemView {
   /// Like dispatch() but without the placement-membership check: write
   /// off-loading legitimately parks blocks on foreign disks.
   void dispatch_unchecked(disk::Request r, DiskId k) {
-    EAS_CHECK_MSG(k < disks_.size(), "dispatch to unknown disk " << k);
+    EAS_REQUIRE_MSG(k < disks_.size(), "dispatch to unknown disk " << k);
     r.dispatch_time = sim_.now();
     policy_.on_disk_activity(sim_, *disks_[k]);
     disks_[k]->submit(r);
@@ -242,7 +242,7 @@ RunResult run_batch(const SystemConfig& config,
   System system(config, placement, policy);
   auto& sim = system.simulator();
   const double interval = sched.batch_interval_seconds();
-  EAS_CHECK(interval > 0.0);
+  EAS_REQUIRE(interval > 0.0);
 
   // Arrivals accumulate in `pending`; a tick chain drains them. The chain
   // keeps running while arrivals remain so an empty interval cannot strand
@@ -256,14 +256,20 @@ RunResult run_batch(const SystemConfig& config,
     });
   }
 
-  // std::function must be copyable, hence the shared recursive thunk.
+  // std::function must be copyable, hence the shared recursive thunk. It
+  // re-arms itself through a weak self-reference: capturing `tick` by value
+  // would make the function own itself and leak the whole chain. The owning
+  // pointer outlives the run (the simulation completes inside system.start()
+  // below), so the lock always succeeds while events can still fire.
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [pending, remaining, tick, interval, &system, &sched, &sim] {
+  *tick = [pending, remaining,
+           self = std::weak_ptr<std::function<void()>>(tick), interval,
+           &system, &sched, &sim] {
     if (!pending->empty()) {
       std::vector<disk::Request> batch;
       batch.swap(*pending);
       const std::vector<DiskId> assignment = sched.assign(batch, system);
-      EAS_CHECK_MSG(assignment.size() == batch.size(),
+      EAS_ENSURE_MSG(assignment.size() == batch.size(),
                     "batch scheduler returned " << assignment.size()
                                                 << " picks for "
                                                 << batch.size() << " requests");
@@ -272,7 +278,9 @@ RunResult run_batch(const SystemConfig& config,
       }
     }
     if (*remaining > 0 || !pending->empty()) {
-      sim.schedule_in(interval, *tick);
+      const auto t = self.lock();
+      EAS_ASSERT_MSG(t != nullptr, "batch tick outlived its owner");
+      sim.schedule_in(interval, *t);
     }
   };
   if (!trace.empty()) sim.schedule_at(trace.start_time() + interval, *tick);

@@ -10,15 +10,15 @@
 namespace eas::trace {
 
 void SyntheticTraceConfig::validate() const {
-  EAS_CHECK(num_requests > 0);
-  EAS_CHECK(num_data > 0);
-  EAS_CHECK(popularity_z >= 0.0);
-  EAS_CHECK(mean_rate > 0.0);
-  EAS_CHECK(burst_rate_multiplier >= 1.0);
-  EAS_CHECK(burst_time_fraction >= 0.0 && burst_time_fraction < 1.0);
-  EAS_CHECK(mean_burst_seconds > 0.0);
-  EAS_CHECK(block_bytes > 0);
-  EAS_CHECK(write_fraction >= 0.0 && write_fraction <= 1.0);
+  EAS_REQUIRE(num_requests > 0);
+  EAS_REQUIRE(num_data > 0);
+  EAS_REQUIRE(popularity_z >= 0.0);
+  EAS_REQUIRE(mean_rate > 0.0);
+  EAS_REQUIRE(burst_rate_multiplier >= 1.0);
+  EAS_REQUIRE(burst_time_fraction >= 0.0 && burst_time_fraction < 1.0);
+  EAS_REQUIRE(mean_burst_seconds > 0.0);
+  EAS_REQUIRE(block_bytes > 0);
+  EAS_REQUIRE(write_fraction >= 0.0 && write_fraction <= 1.0);
 }
 
 Trace make_synthetic_trace(const SyntheticTraceConfig& cfg) {

@@ -15,8 +15,8 @@ Trace::Trace(std::vector<TraceRecord> records) : records_(std::move(records)) {
                      return a.time < b.time;
                    });
   for (const auto& r : records_) {
-    EAS_CHECK_MSG(r.time >= 0.0, "negative record time " << r.time);
-    EAS_CHECK_MSG(r.data != kInvalidData, "record without data id");
+    EAS_REQUIRE_MSG(r.time >= 0.0, "negative record time " << r.time);
+    EAS_REQUIRE_MSG(r.data != kInvalidData, "record without data id");
   }
 }
 

@@ -1,9 +1,29 @@
-// Lightweight runtime invariant checks.
+// Runtime contracts: executable pre/postconditions and invariant audits.
 //
-// EAS_CHECK is always on (release included): these guard library invariants
-// whose violation means the simulation state is corrupt, and the cost of a
-// predictable branch is negligible next to event processing.
-// EAS_DCHECK compiles out in NDEBUG builds; use it on hot paths.
+// Four kinds, all throwing eas::InvariantError with a formatted diagnostic
+// (kind, expression, file:line, optional streamed message):
+//
+//   EAS_REQUIRE  precondition on a public entry point — always on, release
+//                included. A violation means the *caller* broke the contract.
+//   EAS_ENSURE   postcondition / result validity — always on. A violation
+//                means *this* component computed a corrupt result.
+//   EAS_ASSERT   internal consistency on hot paths — compiled out in NDEBUG
+//                builds unless EASCHED_AUDIT is defined.
+//   EAS_AUDIT    expensive whole-structure verification (cover validity,
+//                independence, isolation fingerprints) — same gating as
+//                EAS_ASSERT. Guard costly setup with `if constexpr
+//                (eas::audit_enabled())`.
+//
+// EAS_CHECK / EAS_CHECK_MSG are the legacy always-on generic form (kept —
+// most pre-contracts call sites use them); EAS_DCHECK is an alias for
+// EAS_ASSERT. The `*_MSG` variants accept an ostream chain:
+//
+//   EAS_REQUIRE_MSG(when >= now_, "when=" << when << " now=" << now_);
+//
+// Always-on checks guard invariants whose violation means the simulation
+// state is corrupt; the cost of a predictable branch is negligible next to
+// event processing. The audit tier exists so release sweeps stay fast while
+// `-DEASCHED_AUDIT=ON` (or any Debug build) turns every tier on.
 #pragma once
 
 #include <sstream>
@@ -13,43 +33,94 @@
 namespace eas {
 
 /// Thrown when a library invariant is violated. Catching it is almost always
-/// a bug; it exists so tests can assert on violations.
+/// a bug; it exists so tests can assert on violations (exception mode).
 class InvariantError : public std::logic_error {
  public:
   explicit InvariantError(const std::string& what) : std::logic_error(what) {}
 };
 
+/// True when the expensive audit tier (EAS_ASSERT / EAS_AUDIT) is compiled
+/// in: any Debug build, or any build configured with -DEASCHED_AUDIT=ON.
+constexpr bool audit_enabled() {
+#if defined(EASCHED_AUDIT) || !defined(NDEBUG)
+  return true;
+#else
+  return false;
+#endif
+}
+
 namespace detail {
-[[noreturn]] inline void check_failed(const char* expr, const char* file,
-                                      int line, const std::string& msg) {
+
+[[noreturn]] inline void contract_failed(const char* kind, const char* expr,
+                                         const char* file, int line,
+                                         const std::string& msg) {
   std::ostringstream os;
-  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  os << kind << " violated: " << expr << " at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
   throw InvariantError(os.str());
 }
-}  // namespace detail
 
+// Legacy spelling used by pre-contracts call sites / tests.
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  contract_failed("invariant", expr, file, line, msg);
+}
+
+}  // namespace detail
 }  // namespace eas
 
-#define EAS_CHECK(expr)                                              \
-  do {                                                               \
-    if (!(expr)) ::eas::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+// Core expansion shared by every always-on contract kind.
+#define EAS_DETAIL_CONTRACT(kind, expr)                                \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::eas::detail::contract_failed(kind, #expr, __FILE__, __LINE__,  \
+                                     std::string{});                   \
   } while (0)
 
-#define EAS_CHECK_MSG(expr, msg)                                     \
-  do {                                                               \
-    if (!(expr)) {                                                   \
-      std::ostringstream eas_check_os_;                              \
-      eas_check_os_ << msg;                                          \
-      ::eas::detail::check_failed(#expr, __FILE__, __LINE__,         \
-                                  eas_check_os_.str());              \
-    }                                                                \
+#define EAS_DETAIL_CONTRACT_MSG(kind, expr, msg)                      \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream eas_check_os_;                               \
+      eas_check_os_ << msg;                                           \
+      ::eas::detail::contract_failed(kind, #expr, __FILE__, __LINE__, \
+                                     eas_check_os_.str());            \
+    }                                                                 \
   } while (0)
 
-#ifdef NDEBUG
-#define EAS_DCHECK(expr) \
+// --- always-on tiers --------------------------------------------------------
+
+#define EAS_CHECK(expr) EAS_DETAIL_CONTRACT("invariant", expr)
+#define EAS_CHECK_MSG(expr, msg) EAS_DETAIL_CONTRACT_MSG("invariant", expr, msg)
+
+#define EAS_REQUIRE(expr) EAS_DETAIL_CONTRACT("precondition", expr)
+#define EAS_REQUIRE_MSG(expr, msg) \
+  EAS_DETAIL_CONTRACT_MSG("precondition", expr, msg)
+
+#define EAS_ENSURE(expr) EAS_DETAIL_CONTRACT("postcondition", expr)
+#define EAS_ENSURE_MSG(expr, msg) \
+  EAS_DETAIL_CONTRACT_MSG("postcondition", expr, msg)
+
+// --- debug/audit tiers ------------------------------------------------------
+
+#if defined(EASCHED_AUDIT) || !defined(NDEBUG)
+#define EAS_ASSERT(expr) EAS_DETAIL_CONTRACT("assertion", expr)
+#define EAS_ASSERT_MSG(expr, msg) \
+  EAS_DETAIL_CONTRACT_MSG("assertion", expr, msg)
+#define EAS_AUDIT(expr) EAS_DETAIL_CONTRACT("audit", expr)
+#define EAS_AUDIT_MSG(expr, msg) EAS_DETAIL_CONTRACT_MSG("audit", expr, msg)
+#else
+#define EAS_ASSERT(expr) \
   do {                   \
   } while (0)
-#else
-#define EAS_DCHECK(expr) EAS_CHECK(expr)
+#define EAS_ASSERT_MSG(expr, msg) \
+  do {                            \
+  } while (0)
+#define EAS_AUDIT(expr) \
+  do {                  \
+  } while (0)
+#define EAS_AUDIT_MSG(expr, msg) \
+  do {                           \
+  } while (0)
 #endif
+
+#define EAS_DCHECK(expr) EAS_ASSERT(expr)

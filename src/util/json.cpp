@@ -77,7 +77,7 @@ void JsonWriter::begin_object() {
 }
 
 void JsonWriter::end_object() {
-  EAS_CHECK(!has_element_.empty());
+  EAS_REQUIRE(!has_element_.empty());
   has_element_.pop_back();
   os_ << '}';
 }
@@ -89,7 +89,7 @@ void JsonWriter::begin_array() {
 }
 
 void JsonWriter::end_array() {
-  EAS_CHECK(!has_element_.empty());
+  EAS_REQUIRE(!has_element_.empty());
   has_element_.pop_back();
   os_ << ']';
 }

@@ -45,7 +45,7 @@ double Rng::next_double() {
 }
 
 std::uint64_t Rng::next_below(std::uint64_t bound) {
-  EAS_CHECK(bound > 0);
+  EAS_REQUIRE(bound > 0);
   // Lemire's nearly-divisionless method.
   std::uint64_t x = next_u64();
   __uint128_t m = static_cast<__uint128_t>(x) * bound;
@@ -62,24 +62,24 @@ std::uint64_t Rng::next_below(std::uint64_t bound) {
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  EAS_CHECK(lo <= hi);
+  EAS_REQUIRE(lo <= hi);
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
   return lo + static_cast<std::int64_t>(next_below(span));
 }
 
 double Rng::uniform(double lo, double hi) {
-  EAS_CHECK(lo <= hi);
+  EAS_REQUIRE(lo <= hi);
   return lo + (hi - lo) * next_double();
 }
 
 double Rng::exponential(double rate) {
-  EAS_CHECK(rate > 0.0);
+  EAS_REQUIRE(rate > 0.0);
   // 1 - u in (0, 1] avoids log(0).
   return -std::log1p(-next_double()) / rate;
 }
 
 double Rng::pareto(double xm, double alpha) {
-  EAS_CHECK(xm > 0.0 && alpha > 0.0);
+  EAS_REQUIRE(xm > 0.0 && alpha > 0.0);
   double u;
   do {
     u = next_double();
@@ -109,10 +109,10 @@ bool Rng::bernoulli(double p) { return next_double() < p; }
 std::size_t Rng::weighted_index(const std::vector<double>& weights) {
   double total = 0.0;
   for (double w : weights) {
-    EAS_CHECK_MSG(w >= 0.0, "negative weight " << w);
+    EAS_REQUIRE_MSG(w >= 0.0, "negative weight " << w);
     total += w;
   }
-  EAS_CHECK_MSG(total > 0.0, "weighted_index requires a positive weight");
+  EAS_REQUIRE_MSG(total > 0.0, "weighted_index requires a positive weight");
   double target = next_double() * total;
   for (std::size_t i = 0; i < weights.size(); ++i) {
     target -= weights[i];

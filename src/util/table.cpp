@@ -9,7 +9,7 @@
 namespace eas::util {
 
 Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
-  EAS_CHECK_MSG(!header_.empty(), "table needs at least one column");
+  EAS_REQUIRE_MSG(!header_.empty(), "table needs at least one column");
 }
 
 Table& Table::row() {
@@ -18,8 +18,8 @@ Table& Table::row() {
 }
 
 Table& Table::cell(std::string value) {
-  EAS_CHECK_MSG(!rows_.empty(), "call row() before cell()");
-  EAS_CHECK_MSG(rows_.back().size() < header_.size(),
+  EAS_REQUIRE_MSG(!rows_.empty(), "call row() before cell()");
+  EAS_REQUIRE_MSG(rows_.back().size() < header_.size(),
                 "row has more cells than header columns");
   rows_.back().push_back(std::move(value));
   return *this;

@@ -8,8 +8,8 @@
 namespace eas::util {
 
 ZipfSampler::ZipfSampler(std::size_t n, double z) : z_(z) {
-  EAS_CHECK_MSG(n >= 1, "ZipfSampler needs at least one rank");
-  EAS_CHECK_MSG(z >= 0.0, "Zipf exponent must be non-negative");
+  EAS_REQUIRE_MSG(n >= 1, "ZipfSampler needs at least one rank");
+  EAS_REQUIRE_MSG(z >= 0.0, "Zipf exponent must be non-negative");
   cdf_.resize(n);
   double acc = 0.0;
   for (std::size_t r = 0; r < n; ++r) {
@@ -28,7 +28,7 @@ std::size_t ZipfSampler::sample(Rng& rng) const {
 }
 
 double ZipfSampler::pmf(std::size_t rank) const {
-  EAS_CHECK(rank < cdf_.size());
+  EAS_REQUIRE(rank < cdf_.size());
   const double hi = cdf_[rank];
   const double lo = rank == 0 ? 0.0 : cdf_[rank - 1];
   return hi - lo;

@@ -143,8 +143,8 @@ TEST_P(DiskPowerCaseTest, OracleSingleDiskMatchesAnalyticEvaluator) {
 
 INSTANTIATE_TEST_SUITE_P(PowerModels, DiskPowerCaseTest,
                          ::testing::ValuesIn(power_cases()),
-                         [](const ::testing::TestParamInfo<PowerCase>& info) {
-                           std::string name = info.param.label;
+                         [](const ::testing::TestParamInfo<PowerCase>& param) {
+                           std::string name = param.param.label;
                            for (auto& c : name) {
                              if (c == '-') c = '_';
                            }

@@ -30,7 +30,7 @@ TEST(SummaryStats, MatchesDirectComputation) {
   EXPECT_DOUBLE_EQ(s.max(), 16.0);
   double var = 0.0;
   for (double x : xs) var += (x - 6.2) * (x - 6.2);
-  var /= xs.size() - 1;
+  var /= static_cast<double>(xs.size() - 1);
   EXPECT_NEAR(s.variance(), var, 1e-12);
 }
 

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Full correctness gate, runnable locally or from CI:
+#
+#   1. determinism lint (fast, no toolchain needed)
+#   2. default build + full test suite, warnings fatal
+#   3. audit build (EASCHED_AUDIT=ON): every EAS_ASSERT/EAS_AUDIT compiled
+#      into the release binary, full suite again
+#   4. ASan+UBSan smoke (sanitize-smoke preset, reduced request counts)
+#   5. TSan sweep smoke (sweep-smoke preset: the concurrency surface)
+#   6. clang-tidy over all TUs via the lint preset (skipped with a notice
+#      when clang-tidy is not installed)
+#
+# Any stage failing fails the script. Stages can be skipped by name:
+#   tools/ci.sh --skip tsan,lint
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+skip=","
+if [[ "${1:-}" == "--skip" && -n "${2:-}" ]]; then
+  skip=",$2,"
+elif [[ "${1:-}" == --skip=* ]]; then
+  skip=",${1#--skip=},"
+fi
+jobs="${EAS_CI_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+run_stage() { # run_stage <name> <cmd...>
+  local name="$1"
+  shift
+  if [[ "$skip" == *",$name,"* ]]; then
+    echo "=== [$name] skipped by request"
+    return 0
+  fi
+  echo "=== [$name] $*"
+  "$@"
+}
+
+stage_determinism() { tools/lint_determinism.sh; }
+
+stage_default() {
+  cmake --preset default -DEASCHED_WERROR=ON
+  cmake --build --preset default -j "$jobs"
+  ctest --preset default -j "$jobs"
+}
+
+stage_audit() {
+  cmake --preset audit -DEASCHED_WERROR=ON
+  cmake --build --preset audit -j "$jobs"
+  ctest --preset audit -j "$jobs"
+}
+
+stage_asan() {
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs"
+  ctest --preset sanitize-smoke -j "$jobs"
+}
+
+stage_tsan() {
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs"
+  ctest --preset sweep-smoke -j "$jobs"
+}
+
+stage_lint() {
+  if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "clang-tidy not installed; skipping lint stage"
+    return 0
+  fi
+  cmake --preset lint
+  cmake --build --preset lint -j "$jobs"
+}
+
+run_stage determinism stage_determinism
+run_stage default stage_default
+run_stage audit stage_audit
+run_stage asan stage_asan
+run_stage tsan stage_tsan
+run_stage lint stage_lint
+
+echo "=== all CI stages passed"

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Determinism lint: the whole repro story rests on bit-identical reruns
+# (same seeds -> same figures, any EAS_THREADS -> same sweep results), so
+# sources of hidden nondeterminism are banned from library code:
+#
+#   * libc rand()/srand()/random() and time()-seeded anything
+#   * std::random_device (non-deterministic by definition)
+#   * argument-less srand() spellings
+#   * range-for iteration over unordered containers inside decision modules
+#     (iteration order is implementation-defined and would leak into
+#     scheduling choices)
+#
+# Wall-clock reads (steady_clock) are fine for *reporting* but never for
+# decisions; they are allowed only outside decision modules or on lines
+# carrying an explicit `// det-ok: <reason>` waiver, which is also the
+# escape hatch for any false positive.
+#
+# Usage: tools/lint_determinism.sh [repo-root]   (exit 0 = clean)
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 2
+
+fail=0
+report() { # report <label> <grep-output>
+  local label="$1" hits="$2"
+  if [[ -n "$hits" ]]; then
+    echo "determinism lint: $label"
+    echo "$hits" | sed 's/^/  /'
+    fail=1
+  fi
+}
+
+# Library + bench sources. Tests may use whatever they like for inputs, but
+# keeping them deterministic too costs nothing, so they are scanned as well.
+scan_dirs=(src bench examples tests)
+files=$(find "${scan_dirs[@]}" -name '*.cpp' -o -name '*.hpp' -o -name '*.h' 2>/dev/null)
+
+grep_src() { # grep_src <pattern>
+  # shellcheck disable=SC2086
+  grep -nE "$1" $files 2>/dev/null | grep -v 'det-ok:'
+}
+
+report "libc rand()/random() is banned — use util::Rng with an explicit seed" \
+  "$(grep_src '(^|[^_[:alnum:]])(rand|random)[[:space:]]*\(\)')"
+
+report "srand() is banned — seeds flow through ExperimentParams" \
+  "$(grep_src '(^|[^_[:alnum:]])srand[[:space:]]*\(')"
+
+report "time()/clock() wall-clock seeding is banned" \
+  "$(grep_src '(^|[^_[:alnum:]])time[[:space:]]*\([[:space:]]*(NULL|nullptr|0)?[[:space:]]*\)')"
+
+report "std::random_device is banned — it defeats seed reproducibility" \
+  "$(grep_src 'random_device')"
+
+report "system_clock in library code is banned (steady_clock for spans; never for decisions)" \
+  "$(grep_src 'system_clock' | grep -E '^src/')"
+
+# Unordered-container iteration inside decision modules: any range-for whose
+# range expression names an unordered container, in the modules that make
+# scheduling/power/placement decisions.
+decision_files=$(find src/core src/power src/graph src/placement src/runner \
+  -name '*.cpp' -o -name '*.hpp' 2>/dev/null)
+if [[ -n "$decision_files" ]]; then
+  # shellcheck disable=SC2086
+  hits=$(grep -nE 'for[[:space:]]*\(.*:[^:)]*unordered' $decision_files 2>/dev/null \
+    | grep -v 'det-ok:')
+  report "range-for over an unordered container in a decision module (order feeds scheduling)" \
+    "$hits"
+  # Also catch iteration over locals *declared* unordered earlier in the file:
+  # any file that both declares an unordered container variable and range-fors
+  # over that variable name.
+  for f in $decision_files; do
+    vars=$(grep -oE 'unordered_(map|set|multimap|multiset)<[^;]*>[[:space:]]+[a-zA-Z_][a-zA-Z0-9_]*' "$f" 2>/dev/null \
+      | sed -E 's/.*>[[:space:]]+([a-zA-Z_][a-zA-Z0-9_]*)$/\1/' | sort -u)
+    for v in $vars; do
+      hits=$(grep -nE "for[[:space:]]*\(.*:[[:space:]]*${v}[[:space:]]*\)" "$f" | grep -v 'det-ok:')
+      [[ -n "$hits" ]] && report "range-for over unordered container '$v' in $f" \
+        "$(echo "$hits" | sed "s|^|$f:|")"
+    done
+  done
+fi
+
+if [[ $fail -eq 0 ]]; then
+  echo "determinism lint: clean"
+fi
+exit $fail
