@@ -10,12 +10,15 @@ namespace {
 
 void BM_ScheduleAndFire(benchmark::State& state) {
   const auto batch = static_cast<std::size_t>(state.range(0));
+  std::uint64_t a = 0, b = 0, c = 0;
   for (auto _ : state) {
     sim::Simulator sim;
     for (std::size_t i = 0; i < batch; ++i) {
-      sim.schedule_at(static_cast<double>(i % 64), [] {});
+      sim.schedule_at(static_cast<double>(i % 64),
+                      [&a, &b, &c, i] { a += i + b + c; });
     }
     benchmark::DoNotOptimize(sim.run());
+    benchmark::DoNotOptimize(a);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch));
@@ -27,8 +30,10 @@ void BM_ScheduleCancel(benchmark::State& state) {
     sim::Simulator sim;
     std::vector<sim::EventHandle> handles;
     handles.reserve(4096);
+    std::uint64_t a = 0, b = 0, c = 0;
     for (int i = 0; i < 4096; ++i) {
-      handles.push_back(sim.schedule_at(1.0 + i, [] {}));
+      handles.push_back(
+          sim.schedule_at(1.0 + i, [&a, &b, &c, i] { a += b + c + i; }));
     }
     for (auto& h : handles) sim.cancel(h);
     sim.run();

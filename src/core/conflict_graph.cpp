@@ -1,7 +1,6 @@
 #include "core/conflict_graph.hpp"
 
 #include <algorithm>
-#include <queue>
 
 #include "core/energy_model.hpp"
 #include "util/check.hpp"
@@ -63,14 +62,21 @@ void for_each_conflict(const ConflictGraph& g,
   }
 }
 
-std::vector<std::vector<std::uint32_t>> build_buckets(const ConflictGraph& g,
-                                                      std::size_t num_requests) {
-  std::vector<std::vector<std::uint32_t>> bucket(num_requests);
+/// Grows `vecs` to `n` outer entries and clears each inner vector without
+/// releasing its capacity — the reuse primitive behind the workspace.
+void reset_nested(std::vector<std::vector<std::uint32_t>>& vecs,
+                  std::size_t n) {
+  if (vecs.size() < n) vecs.resize(n);
+  for (auto& v : vecs) v.clear();
+}
+
+void fill_buckets(const ConflictGraph& g, std::size_t num_requests,
+                  std::vector<std::vector<std::uint32_t>>& bucket) {
+  reset_nested(bucket, num_requests);
   for (std::uint32_t v = 0; v < g.nodes.size(); ++v) {
     bucket[g.nodes[v].i].push_back(v);
     bucket[g.nodes[v].j].push_back(v);
   }
-  return bucket;
 }
 
 }  // namespace
@@ -79,11 +85,21 @@ ConflictGraph build_conflict_graph(const trace::Trace& trace,
                                    const placement::PlacementMap& placement,
                                    const disk::DiskPowerParams& power,
                                    const ConflictGraphOptions& options) {
+  ConflictGraphWorkspace ws;
+  return build_conflict_graph(trace, placement, power, options, ws);
+}
+
+ConflictGraph build_conflict_graph(const trace::Trace& trace,
+                                   const placement::PlacementMap& placement,
+                                   const disk::DiskPowerParams& power,
+                                   const ConflictGraphOptions& options,
+                                   ConflictGraphWorkspace& ws) {
   EAS_REQUIRE_MSG(options.successor_horizon >= 1, "horizon must be >= 1");
   ConflictGraph g;
 
   // Per-disk time-ordered lists of requests whose data lives there.
-  std::vector<std::vector<std::uint32_t>> on_disk(placement.num_disks());
+  auto& on_disk = ws.on_disk;
+  reset_nested(on_disk, placement.num_disks());
   for (std::uint32_t i = 0; i < trace.size(); ++i) {
     for (DiskId k : placement.locations(trace[i].data)) {
       on_disk[k].push_back(i);  // trace is time-sorted, so lists are too
@@ -91,6 +107,14 @@ ConflictGraph build_conflict_graph(const trace::Trace& trace,
   }
 
   // Step 1: nodes for every in-window candidate pair within the horizon.
+  // The node count is data-dependent, so the workspace remembers the last
+  // call's count as the reservation estimate: repeated builds over
+  // similar-sized cells (the sweep and scheduler hot path) size the vector
+  // in one allocation instead of a geometric growth chain. (A counting
+  // pre-pass and the total_entries * horizon bound were both measurably
+  // slower: the former re-walks every candidate pair, the latter cold-faults
+  // megabytes it never uses.)
+  g.nodes.reserve(ws.last_node_count);
   const double window = power.saving_window_seconds();
   for (DiskId k = 0; k < placement.num_disks(); ++k) {
     const auto& list = on_disk[k];
@@ -108,9 +132,12 @@ ConflictGraph build_conflict_graph(const trace::Trace& trace,
     }
   }
 
+  ws.last_node_count = g.nodes.size();
+
   // Step 2: CSR adjacency in two passes over the conflict pairs — count
   // degrees, then place. Each conflicting pair is visited exactly once.
-  const auto bucket = build_buckets(g, trace.size());
+  fill_buckets(g, trace.size(), ws.bucket);
+  const auto& bucket = ws.bucket;
   g.adj_offsets.assign(g.nodes.size() + 1, 0);
   for_each_conflict(g, bucket, [&](std::uint32_t u, std::uint32_t v) {
     ++g.adj_offsets[u + 1];
@@ -120,8 +147,8 @@ ConflictGraph build_conflict_graph(const trace::Trace& trace,
     g.adj_offsets[v + 1] += g.adj_offsets[v];
   }
   g.adj_data.resize(g.adj_offsets.back());
-  std::vector<std::size_t> cursor(g.adj_offsets.begin(),
-                                  g.adj_offsets.end() - 1);
+  ws.cursor.assign(g.adj_offsets.begin(), g.adj_offsets.end() - 1);
+  auto& cursor = ws.cursor;
   for_each_conflict(g, bucket, [&](std::uint32_t u, std::uint32_t v) {
     g.adj_data[cursor[u]++] = v;
     g.adj_data[cursor[v]++] = u;
@@ -131,10 +158,18 @@ ConflictGraph build_conflict_graph(const trace::Trace& trace,
 
 std::vector<std::uint32_t> solve_gwmin(const ConflictGraph& g,
                                        bool use_gwmin2) {
+  GwminWorkspace ws;
+  return solve_gwmin(g, use_gwmin2, ws);
+}
+
+std::vector<std::uint32_t> solve_gwmin(const ConflictGraph& g, bool use_gwmin2,
+                                       GwminWorkspace& ws) {
   const std::size_t n = g.size();
-  std::vector<bool> alive(n, true);
-  std::vector<std::uint32_t> degree(n);
-  std::vector<double> nbr_weight;
+  ws.alive.assign(n, 1);
+  auto& alive = ws.alive;
+  ws.degree.resize(n);
+  auto& degree = ws.degree;
+  auto& nbr_weight = ws.nbr_weight;
   if (use_gwmin2) nbr_weight.assign(n, 0.0);
   for (std::uint32_t v = 0; v < n; ++v) {
     degree[v] = static_cast<std::uint32_t>(g.degree(v));
@@ -153,16 +188,20 @@ std::vector<std::uint32_t> solve_gwmin(const ConflictGraph& g,
 
   // Lazy max-heap: scores only grow as neighbours die, and every growth
   // pushes a fresh entry, so an alive node popped from the top always
-  // carries its current (maximal) score.
-  using Entry = std::pair<double, std::uint32_t>;
-  std::priority_queue<Entry> heap;
-  for (std::uint32_t v = 0; v < n; ++v) heap.emplace(score(v), v);
+  // carries its current (maximal) score. (score, node) keys are totally
+  // ordered, so the workspace heap pops in exactly the order the previous
+  // std::priority_queue did.
+  auto& heap = ws.heap;
+  heap.clear();
+  for (std::uint32_t v = 0; v < n; ++v) heap.emplace_back(score(v), v);
+  std::make_heap(heap.begin(), heap.end());
 
   std::vector<std::uint32_t> selected;
-  std::vector<std::uint32_t> doomed;
+  auto& doomed = ws.doomed;
   while (!heap.empty()) {
-    const auto [s, v] = heap.top();
-    heap.pop();
+    std::pop_heap(heap.begin(), heap.end());
+    const auto [s, v] = heap.back();
+    heap.pop_back();
     if (!alive[v]) continue;
     selected.push_back(v);
 
@@ -171,10 +210,10 @@ std::vector<std::uint32_t> solve_gwmin(const ConflictGraph& g,
     // actually remain in the graph.
     doomed.clear();
     doomed.push_back(v);
-    alive[v] = false;
+    alive[v] = 0;
     for (std::uint32_t u : g.neighbors(v)) {
       if (alive[u]) {
-        alive[u] = false;
+        alive[u] = 0;
         doomed.push_back(u);
       }
     }
@@ -183,7 +222,8 @@ std::vector<std::uint32_t> solve_gwmin(const ConflictGraph& g,
         if (!alive[w]) continue;
         --degree[w];
         if (use_gwmin2) nbr_weight[w] -= g.nodes[u].weight;
-        heap.emplace(score(w), w);
+        heap.emplace_back(score(w), w);
+        std::push_heap(heap.begin(), heap.end());
       }
     }
   }

@@ -74,15 +74,51 @@ struct ConflictGraph {
   graph::WeightedGraph to_weighted_graph() const;
 };
 
+/// Reusable scratch for build_conflict_graph: a sweep builds one graph per
+/// cell, and the per-disk request lists, per-request node buckets, and CSR
+/// cursor array dominate its transient allocations. Keeping one workspace
+/// alive across cells reuses those buffers at their high-water capacity.
+struct ConflictGraphWorkspace {
+  std::vector<std::vector<std::uint32_t>> on_disk;
+  std::vector<std::vector<std::uint32_t>> bucket;
+  std::vector<std::size_t> cursor;
+  /// Node count of the previous build — the reservation estimate for the
+  /// next one (cells in a sweep are similar-sized).
+  std::size_t last_node_count = 0;
+};
+
 ConflictGraph build_conflict_graph(const trace::Trace& trace,
                                    const placement::PlacementMap& placement,
                                    const disk::DiskPowerParams& power,
                                    const ConflictGraphOptions& options = {});
+
+/// As above, reusing `ws` buffers across calls.
+ConflictGraph build_conflict_graph(const trace::Trace& trace,
+                                   const placement::PlacementMap& placement,
+                                   const disk::DiskPowerParams& power,
+                                   const ConflictGraphOptions& options,
+                                   ConflictGraphWorkspace& ws);
+
+/// Reusable scratch for solve_gwmin (alive marks, incremental degrees,
+/// neighbourhood weights, the score heap, and the per-selection doomed
+/// list).
+struct GwminWorkspace {
+  std::vector<char> alive;
+  std::vector<std::uint32_t> degree;
+  std::vector<double> nbr_weight;
+  std::vector<std::pair<double, std::uint32_t>> heap;
+  std::vector<std::uint32_t> doomed;
+};
 
 /// Scalable GWMIN/GWMIN2 over a ConflictGraph: lazy max-heap keyed by the
 /// greedy score, degrees maintained incrementally, O((V+E) log V).
 /// Returns selected node ids.
 std::vector<std::uint32_t> solve_gwmin(const ConflictGraph& g,
                                        bool use_gwmin2 = false);
+
+/// As above, reusing `ws` buffers across calls (no steady-state allocation
+/// beyond the returned selection).
+std::vector<std::uint32_t> solve_gwmin(const ConflictGraph& g, bool use_gwmin2,
+                                       GwminWorkspace& ws);
 
 }  // namespace eas::core

@@ -76,17 +76,18 @@ OfflineAssignment MwisOfflineScheduler::schedule(
   const bool want_solver = options_.seed != MwisOptions::Seed::kPileOnly;
   if (want_solver) {
     const ConflictGraph graph =
-        build_conflict_graph(trace, placement, power, options_.graph);
+        build_conflict_graph(trace, placement, power, options_.graph,
+                             graph_ws_);
     last_nodes_ = graph.size();
     last_edges_ = graph.num_edges();
 
     std::vector<std::uint32_t> selected;
     switch (options_.algorithm) {
       case MwisOptions::Algorithm::kGwmin:
-        selected = solve_gwmin(graph, /*use_gwmin2=*/false);
+        selected = solve_gwmin(graph, /*use_gwmin2=*/false, gwmin_ws_);
         break;
       case MwisOptions::Algorithm::kGwmin2:
-        selected = solve_gwmin(graph, /*use_gwmin2=*/true);
+        selected = solve_gwmin(graph, /*use_gwmin2=*/true, gwmin_ws_);
         break;
       case MwisOptions::Algorithm::kExact: {
         const auto wg = graph.to_weighted_graph();

@@ -65,6 +65,10 @@ class MwisOfflineScheduler final : public OfflineScheduler {
   std::size_t last_edges_ = 0;
   std::size_t last_selected_ = 0;
   bool last_used_pile_ = false;
+  /// Scratch reused across schedule() calls (one scheduler instance often
+  /// runs many traces in an ablation loop).
+  ConflictGraphWorkspace graph_ws_;
+  GwminWorkspace gwmin_ws_;
 };
 
 }  // namespace eas::core

@@ -1,7 +1,7 @@
 #include "core/wsc_scheduler.hpp"
 
+#include <limits>
 #include <sstream>
-#include <unordered_map>
 
 #include "util/check.hpp"
 
@@ -14,31 +14,51 @@ std::string WscBatchScheduler::name() const {
   return os.str();
 }
 
-graph::SetCoverInstance WscBatchScheduler::build_instance(
+const graph::SetCoverInstance& WscBatchScheduler::build_instance_into(
     const std::vector<disk::Request>& batch, const SystemView& view,
     std::vector<DiskId>& candidate_disks) const {
-  graph::SetCoverInstance instance;
+  graph::SetCoverInstance& instance = inst_ws_;
+  // Retire the previous instance's element vectors into the spare pool so
+  // their capacity survives sets.clear().
+  for (auto& set : instance.sets) {
+    set.elements.clear();
+    spare_elements_.push_back(std::move(set.elements));
+  }
+  instance.sets.clear();
   instance.num_elements = batch.size();
 
-  // One set per disk that stores at least one batched request's data.
-  std::unordered_map<DiskId, std::size_t> set_of_disk;
+  // One set per disk that stores at least one batched request's data. The
+  // dense map assigns set indices in first-encounter order, exactly as the
+  // hashed try_emplace it replaces did.
+  constexpr std::uint32_t kNoSet = std::numeric_limits<std::uint32_t>::max();
+  if (set_of_disk_.size() < view.placement().num_disks()) {
+    set_of_disk_.resize(view.placement().num_disks(), kNoSet);
+  }
   candidate_disks.clear();
   for (std::size_t e = 0; e < batch.size(); ++e) {
     for (DiskId k : view.placement().locations(batch[e].data)) {
-      auto [it, inserted] = set_of_disk.try_emplace(k, instance.sets.size());
-      if (inserted) {
-        instance.sets.emplace_back();
+      std::uint32_t idx = set_of_disk_[k];
+      if (idx == kNoSet) {
+        idx = static_cast<std::uint32_t>(instance.sets.size());
+        set_of_disk_[k] = idx;
+        auto& set = instance.sets.emplace_back();
+        if (!spare_elements_.empty()) {
+          set.elements = std::move(spare_elements_.back());
+          spare_elements_.pop_back();
+        }
         candidate_disks.push_back(k);
         const DiskSnapshot snap = view.snapshot(k);
-        instance.sets.back().weight =
+        set.weight =
             mode_ == WeightMode::kPureEnergy
                 ? marginal_energy_cost(snap, view.now(), view.power_params())
                 : composite_cost(snap, view.now(), view.power_params(),
                                  cost_);
       }
-      instance.sets[it->second].elements.push_back(e);
+      instance.sets[idx].elements.push_back(e);
     }
   }
+  // Restore the sentinel for the next batch; only touched entries cost.
+  for (DiskId k : candidate_disks) set_of_disk_[k] = kNoSet;
   return instance;
 }
 
@@ -46,11 +66,11 @@ std::vector<DiskId> WscBatchScheduler::assign(
     const std::vector<disk::Request>& batch, const SystemView& view) {
   if (batch.empty()) return {};
 
-  std::vector<DiskId> candidate_disks;
-  const graph::SetCoverInstance instance =
-      build_instance(batch, view, candidate_disks);
+  std::vector<DiskId>& candidate_disks = candidates_ws_;
+  const graph::SetCoverInstance& instance =
+      build_instance_into(batch, view, candidate_disks);
   const graph::SetCoverSolution cover =
-      graph::greedy_weighted_set_cover(instance);
+      graph::greedy_weighted_set_cover(instance, cover_ws_);
   // Theorem 2 only holds if the chosen disks actually cover the batch.
   if constexpr (audit_enabled()) graph::check_cover(cover, instance);
 

@@ -8,6 +8,8 @@
 // cost function instead, so both weight modes are provided.
 #pragma once
 
+#include <cstdint>
+
 #include "core/scheduler.hpp"
 #include "graph/set_cover.hpp"
 
@@ -38,12 +40,35 @@ class WscBatchScheduler final : public BatchScheduler {
   /// `candidate_disks` receives the disk id behind each instance set.
   graph::SetCoverInstance build_instance(
       const std::vector<disk::Request>& batch, const SystemView& view,
-      std::vector<DiskId>& candidate_disks) const;
+      std::vector<DiskId>& candidate_disks) const {
+    return build_instance_into(batch, view, candidate_disks);  // copies
+  }
 
  private:
+  /// Fills the reusable workspace instance and returns a reference to it.
+  /// The reference stays valid until the next build_instance_into call; the
+  /// hot path (assign) solves it before that can happen.
+  const graph::SetCoverInstance& build_instance_into(
+      const std::vector<disk::Request>& batch, const SystemView& view,
+      std::vector<DiskId>& candidate_disks) const;
+
   double interval_;
   CostParams cost_;
   WeightMode mode_;
+
+  // Scratch reused across batches: the scheduler runs one assign() per
+  // scheduling interval (0.1 s of simulated time), so in steady state a
+  // batch allocates nothing beyond the returned assignment vector.
+  /// Dense DiskId -> set-index map; entries are restored to the sentinel
+  /// after every build, so only touched disks cost anything per batch.
+  mutable std::vector<std::uint32_t> set_of_disk_;
+  /// Workspace instance handed out by build_instance_into.
+  mutable graph::SetCoverInstance inst_ws_;
+  /// Element vectors retired from previous instances, kept to preserve
+  /// their capacity for the next build.
+  mutable std::vector<std::vector<std::size_t>> spare_elements_;
+  mutable graph::SetCoverWorkspace cover_ws_;
+  std::vector<DiskId> candidates_ws_;
 };
 
 }  // namespace eas::core

@@ -53,63 +53,78 @@ void check_cover(const SetCoverSolution& sol,
 }
 
 SetCoverSolution greedy_weighted_set_cover(const SetCoverInstance& instance) {
+  SetCoverWorkspace ws;
+  return greedy_weighted_set_cover(instance, ws);
+}
+
+SetCoverSolution greedy_weighted_set_cover(const SetCoverInstance& instance,
+                                           SetCoverWorkspace& ws) {
   instance.validate();
   EAS_REQUIRE_MSG(instance.feasible(), "set cover instance is infeasible");
 
-  std::vector<bool> covered(instance.num_elements, false);
+  ws.covered.assign(instance.num_elements, 0);
   std::size_t remaining = instance.num_elements;
-  std::vector<bool> chosen(instance.sets.size(), false);
   SetCoverSolution sol;
 
-  // Cached count of uncovered elements per set; recomputed lazily because a
-  // stale count only over-estimates usefulness (counts never grow).
-  std::vector<std::size_t> fresh_count(instance.sets.size());
-  for (std::size_t s = 0; s < instance.sets.size(); ++s) {
-    fresh_count[s] = instance.sets[s].elements.size();
-  }
-  auto recount = [&](std::size_t s) {
+  // The greedy order is the lexicographic minimum of (ratio, -fresh, set):
+  // cheapest per fresh element first, ties toward larger coverage so free
+  // sets don't dribble in one element at a time, then toward the lowest set
+  // index. The comparator inverts that ("worse sorts first") because the
+  // std heap algorithms keep the comparator's maximum at the front.
+  using Candidate = SetCoverWorkspace::Candidate;
+  const auto later = [](const Candidate& a, const Candidate& b) {
+    if (a.ratio != b.ratio) return a.ratio > b.ratio;
+    if (a.fresh != b.fresh) return a.fresh < b.fresh;
+    return a.set > b.set;
+  };
+  const auto recount = [&](std::size_t s) {
     std::size_t n = 0;
     for (std::size_t e : instance.sets[s].elements) {
-      if (!covered[e]) ++n;
+      if (!ws.covered[e]) ++n;
     }
-    fresh_count[s] = n;
     return n;
   };
 
+  ws.heap.clear();
+  for (std::size_t s = 0; s < instance.sets.size(); ++s) {
+    const std::size_t n = instance.sets[s].elements.size();
+    if (n == 0) continue;
+    ws.heap.push_back(
+        {instance.sets[s].weight / static_cast<double>(n), n, s});
+  }
+  std::make_heap(ws.heap.begin(), ws.heap.end(), later);
+
+  // Lazy selection: a set's key only ever increases as elements get covered
+  // (the ratio grows when weight > 0; the -fresh tie-break grows when
+  // weight == 0), so a popped entry whose cached count is stale is pushed
+  // back with its true key, and a popped entry whose count is exact is the
+  // global minimum — every other set's true key is >= its stored key >= this
+  // key. Each set has at most one live entry, so the heap never exceeds the
+  // set count. The selected sequence is identical to a per-round linear
+  // scan, just without the O(sets) rescan per selection.
   while (remaining > 0) {
-    double best_ratio = std::numeric_limits<double>::infinity();
-    std::size_t best_set = instance.sets.size();
-    std::size_t best_fresh = 0;
-    for (std::size_t s = 0; s < instance.sets.size(); ++s) {
-      if (chosen[s] || fresh_count[s] == 0) continue;
-      // Optimistic bound first; recount only if it could win.
-      double optimistic =
-          instance.sets[s].weight / static_cast<double>(fresh_count[s]);
-      if (optimistic > best_ratio) continue;
-      const std::size_t n = recount(s);
-      if (n == 0) continue;
-      const double ratio = instance.sets[s].weight / static_cast<double>(n);
-      // Tie-break toward larger coverage so free sets don't dribble in
-      // one element at a time.
-      if (ratio < best_ratio ||
-          (ratio == best_ratio && n > best_fresh)) {
-        best_ratio = ratio;
-        best_set = s;
-        best_fresh = n;
-      }
-    }
-    EAS_CHECK_MSG(best_set < instance.sets.size(),
+    EAS_CHECK_MSG(!ws.heap.empty(),
                   "greedy stalled with " << remaining << " uncovered");
-    chosen[best_set] = true;
-    sol.chosen_sets.push_back(best_set);
-    sol.total_weight += instance.sets[best_set].weight;
-    for (std::size_t e : instance.sets[best_set].elements) {
-      if (!covered[e]) {
-        covered[e] = true;
+    std::pop_heap(ws.heap.begin(), ws.heap.end(), later);
+    const Candidate top = ws.heap.back();
+    ws.heap.pop_back();
+    const std::size_t n = recount(top.set);
+    if (n == 0) continue;  // fully covered by earlier picks; never useful
+    if (n != top.fresh) {
+      ws.heap.push_back(
+          {instance.sets[top.set].weight / static_cast<double>(n), n,
+           top.set});
+      std::push_heap(ws.heap.begin(), ws.heap.end(), later);
+      continue;
+    }
+    sol.chosen_sets.push_back(top.set);
+    sol.total_weight += instance.sets[top.set].weight;
+    for (std::size_t e : instance.sets[top.set].elements) {
+      if (!ws.covered[e]) {
+        ws.covered[e] = 1;
         --remaining;
       }
     }
-    fresh_count[best_set] = 0;
   }
   if constexpr (audit_enabled()) check_cover(sol, instance);
   return sol;
@@ -187,6 +202,16 @@ std::optional<SetCoverSolution> exact_set_cover(
   st.covered.assign(instance.num_elements, false);
   st.remaining = instance.num_elements;
   st.sets_of_element.resize(instance.num_elements);
+  {
+    // Counting pass so each per-element list is allocated exactly once.
+    std::vector<std::size_t> occurrences(instance.num_elements, 0);
+    for (const auto& set : instance.sets) {
+      for (std::size_t e : set.elements) ++occurrences[e];
+    }
+    for (std::size_t e = 0; e < instance.num_elements; ++e) {
+      st.sets_of_element[e].reserve(occurrences[e]);
+    }
+  }
   for (std::size_t s = 0; s < instance.sets.size(); ++s) {
     for (std::size_t e : instance.sets[s].elements) {
       st.sets_of_element[e].push_back(s);

@@ -47,10 +47,38 @@ struct SetCoverSolution {
 /// tests call it directly to prove the contract fires.
 void check_cover(const SetCoverSolution& sol, const SetCoverInstance& instance);
 
+/// Reusable scratch for greedy_weighted_set_cover. Callers that solve a
+/// stream of instances (the batch scheduler solves one per scheduling
+/// interval) keep one workspace alive so steady-state solves reuse the
+/// heap/mark buffers instead of reallocating them.
+struct SetCoverWorkspace {
+  /// Candidate entry in the greedy selection heap. `fresh` is the number of
+  /// still-uncovered elements the set held when the entry was pushed; it can
+  /// only shrink afterwards, which is what makes lazy reinsertion exact.
+  struct Candidate {
+    double ratio = 0.0;  ///< weight / fresh at push time
+    std::size_t fresh = 0;
+    std::size_t set = 0;
+  };
+  std::vector<char> covered;
+  std::vector<Candidate> heap;
+};
+
 /// Greedy H_n-approximation: repeatedly select the set minimising
 /// weight / (newly covered elements); zero-weight sets are free and picked
 /// first. Throws InvariantError if the instance is infeasible.
+///
+/// Selection is by lazy min-heap over (ratio, -fresh count, set index).
+/// A set's key only ever increases as elements get covered, so an entry
+/// whose cached count went stale is reinserted with its refreshed key; a
+/// popped entry with an exact count is provably the global minimum. The
+/// chosen sequence is bit-identical to a full linear scan per round.
 SetCoverSolution greedy_weighted_set_cover(const SetCoverInstance& instance);
+
+/// As above, reusing `ws` buffers across calls (no steady-state allocation
+/// beyond the returned solution).
+SetCoverSolution greedy_weighted_set_cover(const SetCoverInstance& instance,
+                                           SetCoverWorkspace& ws);
 
 /// Exact minimum-weight cover by branch-and-bound (branching on the
 /// uncovered element with the fewest candidate sets). Returns nullopt if the

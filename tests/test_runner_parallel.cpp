@@ -103,6 +103,32 @@ TEST(SweepRunnerParallel, BitIdenticalAcrossThreadCounts) {
   }
 }
 
+// --- kernel regression golden ----------------------------------------------
+//
+// End-to-end outputs recorded from the pre-rewrite event kernel (hash-map
+// handle registry + std::function callbacks + lazily-cleaned binary heap)
+// on this exact cell. The slot-pool/indexed-heap kernel must reproduce them
+// bit-for-bit: the rewrite changes the heap's internal layout but not the
+// (time, seq) total order, so any drift here is an ordering bug, not noise.
+TEST(KernelGolden, SlotPoolKernelMatchesPreRewriteResults) {
+  const auto p = small_params();  // cello, 2000 requests, rf=3
+  const auto trace = runner::make_shared_workload(p);
+  const auto placement = runner::make_shared_placement(p);
+  const auto& reg = runner::SchedulerRegistry::global();
+
+  const auto wsc = run_cell(reg, "wsc", p, *trace, *placement);
+  EXPECT_EQ(wsc.total_energy(), 130283.2136638177);
+  EXPECT_EQ(wsc.total_spin_ups(), 181u);
+  EXPECT_EQ(wsc.requests_waited_spinup, 325u);
+  EXPECT_EQ(wsc.response_times.mean(), 1.5632743452818472);
+
+  const auto heuristic = run_cell(reg, "heuristic", p, *trace, *placement);
+  EXPECT_EQ(heuristic.total_energy(), 131751.42789423512);
+  EXPECT_EQ(heuristic.total_spin_ups(), 181u);
+  EXPECT_EQ(heuristic.requests_waited_spinup, 301u);
+  EXPECT_EQ(heuristic.response_times.mean(), 1.3938358852147847);
+}
+
 TEST(SweepRunnerParallel, SharedInputsAreCachedAcrossCells) {
   const auto base = small_params();
   auto cells = runner::product_grid(base, {"static", "random"}, {"x"}, nullptr);

@@ -3,6 +3,7 @@
 // the two kernel invariants — monotone fire times and FIFO tie-breaking.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -95,6 +96,73 @@ TEST_P(SimStressTest, FifoWithinIdenticalTimestamps) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimStressTest,
                          ::testing::Range<std::uint64_t>(1, 9));
+
+// 100k-operation churn through the slot pool: schedule, cancel, and fire in
+// random proportions while asserting after every phase that the indexed heap
+// and the slot bookkeeping agree (queue_depth() counts heap entries,
+// pending_count() counts live slots — a leaked tombstone or a double-freed
+// slot breaks the equality).
+TEST(SimStress, HeapAndSlotPoolStayInSyncOver100kOps) {
+  util::Rng rng(0xea50123);
+  Simulator sim;
+  std::vector<EventHandle> live;
+  std::size_t expected_pending = 0;
+  std::size_t fired = 0;
+
+  for (int op = 0; op < 100000; ++op) {
+    const double dice = rng.uniform(0.0, 1.0);
+    if (dice < 0.55 || live.empty()) {
+      live.push_back(
+          sim.schedule_in(rng.uniform(0.0, 10.0), [&fired] { ++fired; }));
+      ++expected_pending;
+    } else if (dice < 0.85) {
+      // Cancel a random handle; it may already have been cancelled or fired,
+      // in which case cancel() must report false and change nothing.
+      const std::size_t pick = rng.next_below(live.size());
+      if (sim.cancel(live[pick])) --expected_pending;
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      const std::size_t before = sim.pending_count();
+      if (sim.step()) --expected_pending;
+      ASSERT_EQ(sim.pending_count(), before == 0 ? 0 : before - 1);
+    }
+    ASSERT_EQ(sim.queue_depth(), sim.pending_count()) << "op " << op;
+    ASSERT_EQ(sim.pending_count(), expected_pending) << "op " << op;
+  }
+  sim.run();
+  EXPECT_EQ(sim.pending_count(), 0u);
+  EXPECT_EQ(sim.queue_depth(), 0u);
+}
+
+// Slot recycling mints a fresh generation, so a handle kept across a
+// cancel/fire + re-schedule must be rejected instead of killing the new
+// occupant of the slot.
+TEST(SimStress, RecycledSlotRejectsStaleHandles) {
+  Simulator sim;
+  int first = 0, second = 0;
+
+  // Recycle via cancel: h1's slot is freed, h2 reuses it.
+  const EventHandle h1 = sim.schedule_at(1.0, [&first] { ++first; });
+  ASSERT_TRUE(sim.cancel(h1));
+  const EventHandle h2 = sim.schedule_at(2.0, [&second] { ++second; });
+  EXPECT_FALSE(sim.cancel(h1)) << "stale handle cancelled the recycled slot";
+  EXPECT_EQ(sim.pending_count(), 1u);
+
+  // Recycle via fire: after h2 fires, h3 reuses the slot; both old handles
+  // must still be dead.
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(second, 1);
+  const EventHandle h3 = sim.schedule_at(3.0, [&first] { ++first; });
+  EXPECT_FALSE(sim.cancel(h1));
+  EXPECT_FALSE(sim.cancel(h2));
+  EXPECT_TRUE(sim.cancel(h3));
+  EXPECT_EQ(sim.pending_count(), 0u);
+  EXPECT_EQ(first, 0);
+
+  // A default handle is never valid.
+  EXPECT_FALSE(sim.cancel(EventHandle{}));
+}
 
 TEST(SimStress, DeepReentrantChainTerminates) {
   Simulator sim;

@@ -47,14 +47,24 @@ report "libc rand()/random() is banned — use util::Rng with an explicit seed" 
 report "srand() is banned — seeds flow through ExperimentParams" \
   "$(grep_src '(^|[^_[:alnum:]])srand[[:space:]]*\(')"
 
+# Member calls (`x.time()`, `p->time()`) are simulated-clock accessors, not
+# libc time(); only the free function is banned.
 report "time()/clock() wall-clock seeding is banned" \
-  "$(grep_src '(^|[^_[:alnum:]])time[[:space:]]*\([[:space:]]*(NULL|nullptr|0)?[[:space:]]*\)')"
+  "$(grep_src '(^|[^_.>[:alnum:]])time[[:space:]]*\([[:space:]]*(NULL|nullptr|0)?[[:space:]]*\)')"
 
 report "std::random_device is banned — it defeats seed reproducibility" \
   "$(grep_src 'random_device')"
 
 report "system_clock in library code is banned (steady_clock for spans; never for decisions)" \
   "$(grep_src 'system_clock' | grep -E '^src/')"
+
+# The event kernel's hot path is allocation-free by contract: callbacks live
+# in sim::InlineCallback's 48-byte buffer, and a std::function would silently
+# reintroduce a heap allocation (and allocator-dependent timing) per event.
+# Type *usage* is matched (`std::function<`), so prose in comments is fine;
+# a deliberate exception still takes a `// det-ok: <reason>` waiver.
+report "std::function in src/sim/ is banned — use sim::InlineCallback (48B SBO)" \
+  "$(grep_src 'std::function<' | grep -E '^src/sim/')"
 
 # Unordered-container iteration inside decision modules: any range-for whose
 # range expression names an unordered container, in the modules that make
