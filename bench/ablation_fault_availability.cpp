@@ -1,0 +1,63 @@
+// Ablation: energy vs availability under a single-disk failure.
+//
+// Runs the full §4.3 roster twice over the same Cello workload — once
+// fault-free, once with a scripted fail-stop of one disk a tenth into the
+// trace and a replacement online halfway through (so the run exercises
+// failover, degraded routing AND the rebuild traffic competing with
+// foreground I/O). The emitters grow the availability columns
+// (unavailable, mean_degraded_s, rebuild_bytes) plus the per-cell energy
+// delta against the fault-free twin, so the table reads directly as
+// "what does surviving this failure cost each scheduler".
+#include <iostream>
+
+#include "runner/emit.hpp"
+#include "runner/sweep.hpp"
+
+using namespace eas;
+
+int main() {
+  const auto clean = runner::ExperimentBuilder(runner::Workload::kCello)
+                         .requests(runner::requests_from_env(30000))
+                         .build();
+
+  // Place the failure relative to the actual trace span so EAS_REQUESTS
+  // scaling keeps the scenario shape: dead at 10%, replacement at 50%.
+  const auto trace = runner::make_shared_workload(clean);
+  const double span = trace->duration();
+  const DiskId victim = 7;
+  const auto faulty = runner::ExperimentBuilder(clean)
+                          .fail_disk_at(victim, 0.1 * span, 0.4 * span)
+                          .build();
+  std::cerr << "# fault availability ablation, " << runner::describe(faulty)
+            << "\n";
+
+  const auto placement = runner::make_shared_placement(clean);
+  std::vector<runner::CellSpec> cells;
+  for (const auto& name : runner::SchedulerRegistry::global().names()) {
+    for (const bool with_fault : {false, true}) {
+      runner::CellSpec cell;
+      cell.scheduler = name;
+      cell.params = with_fault ? faulty : clean;
+      cell.tag = with_fault ? "fail-stop" : "fault-free";
+      cell.trace = trace;
+      cell.placement = placement;
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  runner::SweepOptions opts;
+  opts.progress = &std::cerr;
+  const auto results = runner::SweepRunner(opts).run(std::move(cells));
+  runner::emit_cells(std::cout, results, runner::emit_format_from_env());
+  std::cout << "\nExpected shape: availability columns are zero-cost on the "
+               "fault-free rows; under the failure every scheduler keeps "
+               "unavailable at 0 (rf=3) and pays the same rebuild_bytes "
+               "bill. For the online schedulers the energy delta stays "
+               "small relative to total energy (the dead disk stops burning "
+               "power, failover+rebuild traffic buys it back). The offline "
+               "mwis row pays by far the most: its oracle spin plan knows "
+               "nothing about rebuild traffic, so internal reads land on "
+               "spun-down disks, stretch the degraded window, and drag the "
+               "fleet awake long past the planned schedule.\n";
+  return 0;
+}

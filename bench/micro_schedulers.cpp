@@ -5,6 +5,7 @@
 #include "core/basic_schedulers.hpp"
 #include "core/cost_scheduler.hpp"
 #include "core/wsc_scheduler.hpp"
+#include "fault/failure_view.hpp"
 #include "placement/placement.hpp"
 #include "util/rng.hpp"
 
@@ -37,11 +38,15 @@ class BenchView final : public core::SystemView {
     return snapshots_[k];
   }
   const disk::DiskPowerParams& power_params() const override { return power_; }
+  const fault::FailureView* failure_view() const override { return view_; }
+
+  void attach(const fault::FailureView* v) { view_ = v; }
 
  private:
   placement::PlacementMap placement_;
   std::vector<core::DiskSnapshot> snapshots_;
   disk::DiskPowerParams power_;
+  const fault::FailureView* view_ = nullptr;
 };
 
 placement::PlacementMap bench_placement() {
@@ -81,6 +86,25 @@ void BM_PickHeuristic(benchmark::State& state) {
 }
 BENCHMARK(BM_PickHeuristic);
 
+// Failover-path cost: the same decisions with one dead disk in the
+// FailureView, so every pick/cover filters candidates through the degraded
+// view. The delta against the fault-free twin above is the price of the
+// degraded-mode branch — tracked in BENCH_micro.json.
+void BM_PickHeuristicDegraded(benchmark::State& state) {
+  BenchView view(bench_placement(), 3);
+  fault::FailureView fv(180);
+  fv.set_health(0.0, 7, fault::DiskHealth::kDown);
+  view.attach(&fv);
+  core::CostFunctionScheduler sched;
+  util::Rng rng(9);
+  for (auto _ : state) {
+    disk::Request r;
+    r.data = static_cast<DataId>(rng.next_below(32768));
+    benchmark::DoNotOptimize(sched.pick(r, view));
+  }
+}
+BENCHMARK(BM_PickHeuristicDegraded);
+
 void BM_WscAssignBatch(benchmark::State& state) {
   const BenchView view(bench_placement(), 3);
   core::WscBatchScheduler sched(0.1);
@@ -100,6 +124,29 @@ void BM_WscAssignBatch(benchmark::State& state) {
                           static_cast<std::int64_t>(batch_size));
 }
 BENCHMARK(BM_WscAssignBatch)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_WscAssignBatchDegraded(benchmark::State& state) {
+  BenchView view(bench_placement(), 3);
+  fault::FailureView fv(180);
+  fv.set_health(0.0, 7, fault::DiskHealth::kDown);
+  view.attach(&fv);
+  core::WscBatchScheduler sched(0.1);
+  util::Rng rng(11);
+  const auto batch_size = static_cast<std::size_t>(state.range(0));
+  std::vector<disk::Request> batch;
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    disk::Request r;
+    r.id = i;
+    r.data = static_cast<DataId>(rng.next_below(32768));
+    batch.push_back(r);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.assign(batch, view));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch_size));
+}
+BENCHMARK(BM_WscAssignBatchDegraded)->Arg(32)->Arg(256);
 
 }  // namespace
 

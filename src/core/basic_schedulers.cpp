@@ -3,7 +3,14 @@
 namespace eas::core {
 
 DiskId StaticScheduler::pick(const disk::Request& r, const SystemView& view) {
-  return view.placement().original(r.data);
+  const DiskId home = view.placement().original(r.data);
+  if (view.degraded()) {
+    const fault::FailureView& fv = *view.failure_view();
+    if (!fv.replica_readable(r.data, home)) {
+      return fv.first_live(view.placement(), r.data);  // may be kInvalidDisk
+    }
+  }
+  return home;
 }
 
 OfflineAssignment StaticScheduler::schedule(
@@ -18,6 +25,15 @@ OfflineAssignment StaticScheduler::schedule(
 }
 
 DiskId RandomScheduler::pick(const disk::Request& r, const SystemView& view) {
+  if (view.degraded()) {
+    // Draw among live replicas only. The RNG is consumed iff a pick happens,
+    // so the stream stays a pure function of the decision sequence.
+    if (!view.failure_view()->live_locations(view.placement(), r.data,
+                                             live_ws_)) {
+      return kInvalidDisk;
+    }
+    return live_ws_[rng_.next_below(live_ws_.size())];
+  }
   const auto& locs = view.placement().locations(r.data);
   return locs[rng_.next_below(locs.size())];
 }

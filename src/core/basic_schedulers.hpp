@@ -38,6 +38,7 @@ class RandomScheduler final : public OnlineScheduler, public OfflineScheduler {
 
  private:
   util::Rng rng_;
+  std::vector<DiskId> live_ws_;  ///< degraded-path scratch
 };
 
 }  // namespace eas::core

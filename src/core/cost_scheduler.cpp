@@ -17,10 +17,12 @@ DiskId CostFunctionScheduler::pick(const disk::Request& r,
                                    const SystemView& view) {
   const auto& locs = view.placement().locations(r.data);
   EAS_DCHECK(!locs.empty());
+  const fault::FailureView* fv = view.degraded() ? view.failure_view() : nullptr;
   double best_cost = std::numeric_limits<double>::infinity();
   bool best_sleeping = true;
-  DiskId best = locs.front();
+  DiskId best = kInvalidDisk;
   for (DiskId k : locs) {
+    if (fv != nullptr && !fv->replica_readable(r.data, k)) continue;
     const auto snap = view.snapshot(k);
     const double c =
         composite_cost(snap, view.now(), view.power_params(), params_);

@@ -45,10 +45,12 @@ DiskId PredictiveCostScheduler::pick(const disk::Request& r,
                                      const SystemView& view) {
   const auto& locs = view.placement().locations(r.data);
   EAS_DCHECK(!locs.empty());
+  const fault::FailureView* fv = view.degraded() ? view.failure_view() : nullptr;
   const double now = view.now();
   double best_cost = std::numeric_limits<double>::infinity();
-  DiskId best = locs.front();
+  DiskId best = kInvalidDisk;
   for (DiskId k : locs) {
+    if (fv != nullptr && !fv->replica_readable(r.data, k)) continue;
     const double base = composite_cost(view.snapshot(k), now,
                                        view.power_params(), params_.cost);
     const double discount = 1.0 + params_.gamma * estimated_rate(k, now);
@@ -58,6 +60,7 @@ DiskId PredictiveCostScheduler::pick(const disk::Request& r,
       best = k;
     }
   }
+  if (best == kInvalidDisk) return kInvalidDisk;  // all replicas unreadable
   note_dispatch(best, now);
   return best;
 }

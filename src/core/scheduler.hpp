@@ -13,6 +13,7 @@
 #include "core/energy_model.hpp"
 #include "disk/params.hpp"
 #include "disk/request.hpp"
+#include "fault/failure_view.hpp"
 #include "placement/placement.hpp"
 #include "trace/trace.hpp"
 #include "util/ids.hpp"
@@ -30,6 +31,17 @@ class SystemView {
   virtual DiskSnapshot snapshot(DiskId k) const = 0;
   /// Power model shared by all disks in the system.
   virtual const disk::DiskPowerParams& power_params() const = 0;
+  /// Live health overlay, or nullptr in a fault-free run. Schedulers must
+  /// restrict candidate replica sets to readable ones when the view exists
+  /// and reports degraded(); when it is null or healthy the raw placement
+  /// lists are authoritative (and the fast path keeps fault-capable runs
+  /// bit-identical to fault-free ones).
+  virtual const fault::FailureView* failure_view() const { return nullptr; }
+  /// True when replica filtering is required right now.
+  bool degraded() const {
+    const fault::FailureView* fv = failure_view();
+    return fv != nullptr && fv->degraded();
+  }
   DiskId num_disks() const { return placement().num_disks(); }
 };
 
@@ -40,7 +52,9 @@ class OnlineScheduler {
   virtual std::string name() const = 0;
 
   /// Returns the disk the request should be sent to. Must be one of the
-  /// request's data locations (the runner enforces this).
+  /// request's data locations (the runner enforces this), and a readable one
+  /// when the view is degraded. Returns kInvalidDisk when no live replica of
+  /// the data exists — the runner counts the request unavailable.
   virtual DiskId pick(const disk::Request& r, const SystemView& view) = 0;
 };
 
@@ -53,7 +67,9 @@ class BatchScheduler {
   virtual double batch_interval_seconds() const = 0;
 
   /// Returns one disk per request (same order as `batch`); each must hold
-  /// the respective request's data.
+  /// the respective request's data (a readable replica when the view is
+  /// degraded). An entry is kInvalidDisk when no live replica of that
+  /// request's data exists — the runner counts it unavailable.
   virtual std::vector<DiskId> assign(const std::vector<disk::Request>& batch,
                                      const SystemView& view) = 0;
 };

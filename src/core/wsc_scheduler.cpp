@@ -25,7 +25,15 @@ const graph::SetCoverInstance& WscBatchScheduler::build_instance_into(
     spare_elements_.push_back(std::move(set.elements));
   }
   instance.sets.clear();
-  instance.num_elements = batch.size();
+
+  // Under a degraded view only readable replicas become set members, and a
+  // request whose replicas are all gone is excluded from the universe
+  // entirely (it cannot be covered; assign() reports it as unavailable).
+  // elem_req_ maps instance element -> batch index; on the healthy path it
+  // is the identity.
+  const fault::FailureView* fv =
+      view.degraded() ? view.failure_view() : nullptr;
+  elem_req_.clear();
 
   // One set per disk that stores at least one batched request's data. The
   // dense map assigns set indices in first-encounter order, exactly as the
@@ -35,8 +43,11 @@ const graph::SetCoverInstance& WscBatchScheduler::build_instance_into(
     set_of_disk_.resize(view.placement().num_disks(), kNoSet);
   }
   candidate_disks.clear();
-  for (std::size_t e = 0; e < batch.size(); ++e) {
-    for (DiskId k : view.placement().locations(batch[e].data)) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::size_t e = elem_req_.size();  // tentative element id
+    bool coverable = false;
+    for (DiskId k : view.placement().locations(batch[i].data)) {
+      if (fv != nullptr && !fv->replica_readable(batch[i].data, k)) continue;
       std::uint32_t idx = set_of_disk_[k];
       if (idx == kNoSet) {
         idx = static_cast<std::uint32_t>(instance.sets.size());
@@ -55,8 +66,11 @@ const graph::SetCoverInstance& WscBatchScheduler::build_instance_into(
                                  cost_);
       }
       instance.sets[idx].elements.push_back(e);
+      coverable = true;
     }
+    if (coverable) elem_req_.push_back(i);  // claims element id e
   }
+  instance.num_elements = elem_req_.size();
   // Restore the sentinel for the next batch; only touched entries cost.
   for (DiskId k : candidate_disks) set_of_disk_[k] = kNoSet;
   return instance;
@@ -75,22 +89,25 @@ std::vector<DiskId> WscBatchScheduler::assign(
   if constexpr (audit_enabled()) graph::check_cover(cover, instance);
 
   // Each request goes to the first chosen set (in greedy order) holding its
-  // data — the set that "paid" for covering it.
+  // data — the set that "paid" for covering it. Batch entries outside the
+  // universe (no live replica) stay kInvalidDisk: reported, not asserted.
   std::vector<DiskId> assignment(batch.size(), kInvalidDisk);
   for (std::size_t s : cover.chosen_sets) {
     for (std::size_t e : instance.sets[s].elements) {
-      if (assignment[e] == kInvalidDisk) assignment[e] = candidate_disks[s];
+      const std::size_t i = elem_req_[e];
+      if (assignment[i] == kInvalidDisk) assignment[i] = candidate_disks[s];
     }
   }
-  for (std::size_t e = 0; e < batch.size(); ++e) {
-    EAS_ENSURE_MSG(assignment[e] != kInvalidDisk,
-                   "set cover left request " << e << " unassigned");
+  for (std::size_t e = 0; e < instance.num_elements; ++e) {
+    const std::size_t i = elem_req_[e];
+    EAS_ENSURE_MSG(assignment[i] != kInvalidDisk,
+                   "set cover left request " << i << " unassigned");
     // The assigned disk must hold a replica of the requested data, or the
     // "serviced from a replica" premise of the whole model is broken.
-    EAS_AUDIT_MSG(view.placement().stores(batch[e].data, assignment[e]),
-                  "request " << e << " assigned to disk " << assignment[e]
+    EAS_AUDIT_MSG(view.placement().stores(batch[i].data, assignment[i]),
+                  "request " << i << " assigned to disk " << assignment[i]
                              << " which does not store data "
-                             << batch[e].data);
+                             << batch[i].data);
   }
   return assignment;
 }

@@ -69,6 +69,10 @@ class WscBatchScheduler final : public BatchScheduler {
   mutable std::vector<std::vector<std::size_t>> spare_elements_;
   mutable graph::SetCoverWorkspace cover_ws_;
   std::vector<DiskId> candidates_ws_;
+  /// Instance element -> batch index. Identity on the healthy path; under a
+  /// degraded view, requests with no readable replica are skipped so the
+  /// set-cover universe stays feasible.
+  mutable std::vector<std::size_t> elem_req_;
 };
 
 }  // namespace eas::core

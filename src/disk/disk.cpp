@@ -153,6 +153,17 @@ void Disk::submit(const Request& r) {
   }
 }
 
+std::vector<Request> Disk::take_pending() {
+  std::vector<Request> drained;
+  drained.reserve(queue_.size());
+  for (const Pending& p : queue_) drained.push_back(p.request);
+  queue_.clear();
+  // The only reason to bounce back from a spin-down was the queued work
+  // that just left.
+  wake_after_spindown_ = false;
+  return drained;
+}
+
 void Disk::spin_up() {
   switch (state_) {
     case DiskState::Standby: {

@@ -22,6 +22,7 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "disk/params.hpp"
 #include "disk/request.hpp"
@@ -87,6 +88,14 @@ class Disk {
   /// Submits a request. Wakes the disk if necessary; the request is serviced
   /// FCFS once the platters are spinning.
   void submit(const Request& r);
+
+  /// Fault path: removes and returns every queued (not yet in service)
+  /// request, in queue order, so the storage system can fail them over to a
+  /// surviving replica. The in-service transfer, if any, still completes —
+  /// the head already reached the data (documented simplification: a real
+  /// fail-stop would lose it). Any pending wake-after-spin-down is dropped
+  /// with the queue.
+  std::vector<Request> take_pending();
 
   /// Power-policy entry point: begin spinning down. Only legal from Idle;
   /// calling in any other state is an invariant violation (policies must

@@ -15,6 +15,10 @@ struct Request {
   sim::SimTime arrival_time = 0.0;
   /// When the scheduler dispatched it to a disk (>= arrival under batching).
   sim::SimTime dispatch_time = 0.0;
+  /// Internal traffic (rebuild/scrub re-replication) synthesized by the
+  /// storage system itself: competes for disk time like any request but is
+  /// excluded from the foreground response-time and availability metrics.
+  bool internal = false;
 };
 
 /// Completion record emitted by a disk.

@@ -1,0 +1,129 @@
+#include "fault/injector.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace eas::fault {
+
+namespace {
+
+/// Mixes the profile seed with the disk id into one 64-bit stream seed.
+/// splitmix64's finalizer inside Rng::reseed does the heavy lifting; the
+/// multiplier just separates adjacent disk ids before it.
+std::uint64_t stream_seed(std::uint64_t seed, DiskId k) {
+  return seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(k) + 1));
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Simulator& sim, FailureView& view,
+                             FaultProfile profile)
+    : sim_(sim), view_(view), profile_(std::move(profile)) {
+  profile_.validate(view_.num_disks());
+  disk_rng_.reserve(view_.num_disks());
+  for (DiskId k = 0; k < view_.num_disks(); ++k) {
+    disk_rng_.emplace_back(stream_seed(profile_.seed, k));
+  }
+}
+
+double FaultInjector::weibull(util::Rng& rng, double shape, double scale) {
+  // Inverse transform: F^{-1}(u) = scale * (-ln(1-u))^(1/shape).
+  // next_double() is in [0, 1), so 1-u is in (0, 1] and the log is finite.
+  const double u = rng.next_double();
+  return scale * std::pow(-std::log(1.0 - u), 1.0 / shape);
+}
+
+void FaultInjector::start(double horizon) {
+  EAS_REQUIRE_MSG(horizon >= 0.0, "negative fault horizon " << horizon);
+  horizon_ = horizon;
+
+  for (const ScriptedFault& f : profile_.script) {
+    if (f.time > horizon_) continue;  // would fire after the run drains
+    switch (f.kind) {
+      case ScriptedFault::Kind::kFailStop:
+        sim_.schedule_at(f.time, [this, f] {
+          fail_disk(f.disk, f.kind, f.duration, /*rebuild_on_return=*/true);
+        });
+        break;
+      case ScriptedFault::Kind::kTransient:
+        sim_.schedule_at(f.time, [this, f] {
+          fail_disk(f.disk, f.kind, f.duration, /*rebuild_on_return=*/false);
+        });
+        break;
+      case ScriptedFault::Kind::kLatentSector:
+        sim_.schedule_at(f.time, [this, f] {
+          if (!view_.disk_up(f.disk)) return;  // whole disk already out
+          ++stats_.latent_sector_events;
+          view_.add_lost_range(sim_.now(), f.disk, f.data_lo, f.data_hi);
+          if (on_blocks_lost_) {
+            on_blocks_lost_(f.disk, f.data_lo, f.data_hi, f.duration);
+          }
+        });
+        break;
+    }
+  }
+
+  if (profile_.mttf_seconds > 0.0) {
+    for (DiskId k = 0; k < view_.num_disks(); ++k) {
+      arm_stochastic(k, 0.0);
+    }
+  }
+}
+
+void FaultInjector::arm_stochastic(DiskId k, double from_time) {
+  // The Weibull scale that yields the requested mean: MTTF = scale * Γ(1 +
+  // 1/shape). For shape 1 this reduces to scale = MTTF (exponential).
+  const double scale =
+      profile_.mttf_seconds / std::tgamma(1.0 + 1.0 / profile_.weibull_shape);
+  const double ttf = weibull(disk_rng_[k], profile_.weibull_shape, scale);
+  const double when = from_time + ttf;
+  if (when > horizon_) return;  // survives the run
+  // Repair time is drawn *now*, not at failure time, so the disk's whole
+  // timeline comes from its own stream in a fixed order regardless of what
+  // the rest of the system does in between.
+  const double repair = profile_.mttr_seconds > 0.0
+                            ? disk_rng_[k].exponential(1.0 / profile_.mttr_seconds)
+                            : 0.0;
+  sim_.schedule_at(when, [this, k, repair] {
+    fail_disk(k, ScriptedFault::Kind::kFailStop, repair,
+              /*rebuild_on_return=*/true);
+  });
+}
+
+void FaultInjector::fail_disk(DiskId k, ScriptedFault::Kind kind,
+                              double repair_delay, bool rebuild_on_return) {
+  if (!view_.disk_up(k)) return;  // already down/rebuilding: drop duplicate
+  const double now = sim_.now();
+  if (kind == ScriptedFault::Kind::kTransient) {
+    ++stats_.transient_timeouts;
+  } else {
+    ++stats_.disk_failures;
+  }
+  view_.set_health(now, k, DiskHealth::kDown);
+  if (on_down_) on_down_(k, kind);
+
+  if (repair_delay <= 0.0) return;  // never returns within this run
+  const double back = now + repair_delay;
+  if (back > horizon_) return;  // still dead when the trace ends
+  sim_.schedule_at(back, [this, k, kind, rebuild_on_return] {
+    EAS_ASSERT_MSG(view_.health(k) == DiskHealth::kDown,
+                   "repair completion for a disk that is not down");
+    ++stats_.repairs;
+    const double t = sim_.now();
+    if (rebuild_on_return) {
+      // Replacement drive: online but empty until the rebuild replays it.
+      view_.set_health(t, k, DiskHealth::kRebuilding);
+    } else {
+      view_.set_health(t, k, DiskHealth::kUp);
+    }
+    if (on_back_) on_back_(k, rebuild_on_return);
+    // A repaired disk re-enters the stochastic lifetime process.
+    if (profile_.mttf_seconds > 0.0 &&
+        kind == ScriptedFault::Kind::kFailStop) {
+      arm_stochastic(k, t);
+    }
+  });
+}
+
+}  // namespace eas::fault

@@ -1,0 +1,74 @@
+// FaultInjector: turns a FaultProfile into simulator events.
+//
+// The injector owns *when* faults happen; the storage system owns *what*
+// they do to traffic (queue drain, failover, rebuild I/O). It mutates the
+// shared FailureView and notifies the owner through three callbacks:
+//
+//   on_disk_down(k, kind)        — health just became kDown
+//   on_disk_back(k, rebuild)     — repair finished; rebuild says whether the
+//                                  returning disk needs re-replication
+//   on_blocks_lost(k, lo, hi, scrub_delay)
+//                                — latent sector errors surfaced; caller
+//                                  schedules the scrub/re-replication
+//
+// Determinism: each disk gets its own util::Rng stream derived from
+// (profile.seed, disk id), so the stochastic failure/repair timeline of disk
+// k is a pure function of the profile — independent of event interleaving,
+// other disks, and thread count. Events beyond the horizon passed to
+// start() are never scheduled, so runs still terminate.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fault/failure_view.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace eas::fault {
+
+class FaultInjector {
+ public:
+  using DownCallback = std::function<void(DiskId, ScriptedFault::Kind)>;
+  using BackCallback = std::function<void(DiskId, bool needs_rebuild)>;
+  using BlocksLostCallback =
+      std::function<void(DiskId, DataId lo, DataId hi, double scrub_delay)>;
+
+  FaultInjector(sim::Simulator& sim, FailureView& view, FaultProfile profile);
+
+  void set_on_disk_down(DownCallback cb) { on_down_ = std::move(cb); }
+  void set_on_disk_back(BackCallback cb) { on_back_ = std::move(cb); }
+  void set_on_blocks_lost(BlocksLostCallback cb) {
+    on_blocks_lost_ = std::move(cb);
+  }
+
+  /// Schedules every scripted entry and arms the stochastic lifetime chain
+  /// of each disk. Faults strictly after `horizon` (typically the trace end
+  /// time) are suppressed so the event queue drains.
+  void start(double horizon);
+
+  const FaultProfile& profile() const { return profile_; }
+  FaultStats& stats() { return stats_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// Weibull(shape, scale) variate by inverse transform on `rng`.
+  static double weibull(util::Rng& rng, double shape, double scale);
+
+ private:
+  void fail_disk(DiskId k, ScriptedFault::Kind kind, double repair_delay,
+                 bool rebuild_on_return);
+  void arm_stochastic(DiskId k, double from_time);
+
+  sim::Simulator& sim_;
+  FailureView& view_;
+  FaultProfile profile_;
+  double horizon_ = 0.0;
+  std::vector<util::Rng> disk_rng_;
+  FaultStats stats_;
+
+  DownCallback on_down_;
+  BackCallback on_back_;
+  BlocksLostCallback on_blocks_lost_;
+};
+
+}  // namespace eas::fault

@@ -33,6 +33,12 @@ class CoveringSubsetPolicy final : public PowerPolicy {
   void on_disk_idle(sim::Simulator& sim, disk::Disk& d) override;
   void on_disk_activity(sim::Simulator& sim, disk::Disk& d) override;
 
+  /// The 2CPM delegate does the actual spin-downs, so it needs the view too.
+  void set_failure_view(const fault::FailureView* fv) override {
+    PowerPolicy::set_failure_view(fv);
+    threshold_policy_.set_failure_view(fv);
+  }
+
   bool is_covering(DiskId k) const { return covering_.contains(k); }
   std::size_t covering_size() const { return covering_.size(); }
 

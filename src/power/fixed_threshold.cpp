@@ -16,15 +16,20 @@ double FixedThresholdPolicy::threshold_for(const disk::Disk& d) const {
 }
 
 void FixedThresholdPolicy::on_disk_idle(sim::Simulator& sim, disk::Disk& d) {
+  // A disk pinned by an in-progress rebuild stays spinning; the pin release
+  // re-enters via on_disk_idle when the rebuild's last write completes.
+  if (spin_down_blocked(d.id())) return;
   // Replace any stale timer: the disk has begun a fresh idle period.
   auto it = timers_.find(d.id());
   if (it != timers_.end()) sim.cancel(it->second);
   disk::Disk* dp = &d;
   timers_[d.id()] =
-      sim.schedule_in(threshold_for(d), [dp] {
+      sim.schedule_in(threshold_for(d), [this, dp] {
         // The activity hook cancels this event whenever work arrives, so the
-        // disk must still be idle; the check is a cheap belt-and-braces.
-        if (dp->state() == disk::DiskState::Idle && dp->queued_requests() == 0) {
+        // disk must still be idle; the check is a cheap belt-and-braces. The
+        // pin can appear between arming and firing, so it is re-checked.
+        if (dp->state() == disk::DiskState::Idle &&
+            dp->queued_requests() == 0 && !spin_down_blocked(dp->id())) {
           dp->spin_down();
         }
       });

@@ -48,15 +48,18 @@ void OraclePolicy::on_disk_idle(sim::Simulator& sim, disk::Disk& d) {
   // the profitable move is to stay idle until it arrives.
   if (next - now < p.saving_window_seconds()) return;
 
+  // Rebuild pin: the disk must stay spinning whatever the oracle says.
+  if (spin_down_blocked(d.id())) return;
+
   // Case I: wait out the breakeven time, spin down, and (if there is a
   // successor) spin back up just in time for it.
   auto it = spin_down_timers_.find(d.id());
   if (it != spin_down_timers_.end()) sim.cancel(it->second);
   disk::Disk* dp = &d;
   spin_down_timers_[d.id()] =
-      sim.schedule_in(p.breakeven_seconds(), [dp] {
+      sim.schedule_in(p.breakeven_seconds(), [this, dp] {
         if (dp->state() == disk::DiskState::Idle &&
-            dp->queued_requests() == 0) {
+            dp->queued_requests() == 0 && !spin_down_blocked(dp->id())) {
           dp->spin_down();
         }
       });

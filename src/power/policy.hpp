@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "disk/disk.hpp"
+#include "fault/failure_view.hpp"
 #include "sim/simulator.hpp"
 
 namespace eas::power {
@@ -19,6 +20,15 @@ class PowerPolicy {
   virtual ~PowerPolicy() = default;
 
   virtual std::string name() const = 0;
+
+  /// Fault path: gives the policy visibility into rebuild pins. While a
+  /// disk's rebuild_in_progress() is set the policy must not spin it down —
+  /// re-replication traffic targets it and every spin-down would stall the
+  /// repair behind a wake cycle. Null (the default) means fault-free.
+  /// Composite policies forward the view to their delegates.
+  virtual void set_failure_view(const fault::FailureView* fv) {
+    failure_view_ = fv;
+  }
 
   /// Called once before any request is injected. `disks` outlive the run.
   virtual void on_run_start(sim::Simulator& sim,
@@ -39,6 +49,15 @@ class PowerPolicy {
     (void)sim;
     (void)d;
   }
+
+ protected:
+  /// True when the fault subsystem pins k active right now.
+  bool spin_down_blocked(DiskId k) const {
+    return failure_view_ != nullptr && failure_view_->rebuild_in_progress(k);
+  }
+
+ private:
+  const fault::FailureView* failure_view_ = nullptr;
 };
 
 /// Baseline "always-on" configuration (the paper's normalisation target):

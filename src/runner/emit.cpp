@@ -219,10 +219,39 @@ const char* to_string(CellStatus s) {
   return "?";
 }
 
+/// Fault-free twin of `r`: the first OK cell with the same scheduler whose
+/// params match r's with the fault profile cleared. Availability sweeps run
+/// both variants side by side, so the twin usually exists; nullptr when the
+/// sweep only ran the degraded cells.
+const CellResult* fault_free_twin(const std::vector<CellResult>& results,
+                                  const CellResult& r) {
+  ExperimentParams stripped = r.spec.params;
+  stripped.fault = {};
+  const std::string wanted = describe(stripped);
+  for (const auto& c : results) {
+    if (c.status != CellStatus::kOk || c.result.faults_enabled) continue;
+    if (c.spec.scheduler == r.spec.scheduler && describe(c.spec.params) == wanted) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 void emit_cells(std::ostream& os, const std::vector<CellResult>& results,
                 EmitFormat format) {
+  // Availability columns appear only when some cell actually injected
+  // faults, so fault-free sweep output is byte-identical to the historical
+  // schema (the golden tests pin this).
+  bool any_faults = false;
+  for (const auto& r : results) {
+    if (r.status == CellStatus::kOk && r.result.faults_enabled) {
+      any_faults = true;
+      break;
+    }
+  }
+
   if (format == EmitFormat::kJson) {
     util::JsonWriter w(os);
     w.begin_array();
@@ -237,6 +266,12 @@ void emit_cells(std::ostream& os, const std::vector<CellResult>& results,
       w.field("peak_rss_kib", static_cast<std::int64_t>(r.peak_rss_kib));
       if (r.status == CellStatus::kFailed) w.field("error", r.error);
       if (r.status == CellStatus::kOk) {
+        if (r.result.faults_enabled) {
+          if (const CellResult* twin = fault_free_twin(results, r)) {
+            w.field("energy_delta_vs_fault_free_j",
+                    r.result.total_energy() - twin->result.total_energy());
+          }
+        }
         w.key("result");
         w.raw(r.result.to_json());
       }
@@ -247,11 +282,17 @@ void emit_cells(std::ostream& os, const std::vector<CellResult>& results,
     return;
   }
 
-  ResultTable t("sweep cells",
-                {"index", "tag", "scheduler", "status", "wall_s",
-                 "peak_rss_kib", "total_energy_j", "mean_resp_s",
-                 "spin_up+down"});
+  std::vector<std::string> columns = {
+      "index", "tag", "scheduler", "status", "wall_s", "peak_rss_kib",
+      "total_energy_j", "mean_resp_s", "spin_up+down"};
+  if (any_faults) {
+    columns.insert(columns.end(),
+                   {"unavailable", "mean_degraded_s", "rebuild_bytes",
+                    "energy_delta_j"});
+  }
+  ResultTable t("sweep cells", std::move(columns));
   for (const auto& r : results) {
+    const bool ok = r.status == CellStatus::kOk;
     t.row()
         .cell(r.index)
         .cell(r.spec.tag)
@@ -259,11 +300,23 @@ void emit_cells(std::ostream& os, const std::vector<CellResult>& results,
         .cell(to_string(r.status))
         .cell(r.wall_seconds, 3)
         .cell(static_cast<long long>(r.peak_rss_kib))
-        .cell(r.status == CellStatus::kOk ? r.result.total_energy() : 0.0)
-        .cell(r.status == CellStatus::kOk ? r.result.mean_response() : 0.0, 4)
-        .cell(r.status == CellStatus::kOk
-                  ? r.result.total_spin_ups() + r.result.total_spin_downs()
-                  : 0);
+        .cell(ok ? r.result.total_energy() : 0.0)
+        .cell(ok ? r.result.mean_response() : 0.0, 4)
+        .cell(ok ? r.result.total_spin_ups() + r.result.total_spin_downs()
+                 : 0);
+    if (any_faults) {
+      const fault::FaultStats& fs = r.result.fault_stats;
+      t.cell(ok ? fs.unavailable_requests : 0)
+          .cell(ok ? fs.mean_time_in_degraded() : 0.0, 4)
+          .cell(ok ? fs.rebuild_bytes : 0);
+      const CellResult* twin =
+          ok && r.result.faults_enabled ? fault_free_twin(results, r) : nullptr;
+      if (twin != nullptr) {
+        t.cell(r.result.total_energy() - twin->result.total_energy());
+      } else {
+        t.cell("");  // no fault-free twin in this sweep (or fault-free row)
+      }
+    }
   }
   t.emit(os, format);
 }

@@ -35,6 +35,7 @@ void ExperimentParams::validate() const {
                 "cost alpha " << cost.alpha << " outside [0, 1]");
   EAS_REQUIRE_MSG(cost.beta > 0.0, "cost beta must be positive");
   EAS_REQUIRE_MSG(mwis_horizon >= 1, "mwis horizon must be >= 1");
+  fault.validate(num_disks);
 }
 
 ExperimentParams ExperimentBuilder::build() const {
@@ -83,6 +84,7 @@ storage::SystemConfig paper_system_config() {
 storage::SystemConfig system_config_for(const ExperimentParams& p) {
   storage::SystemConfig cfg = paper_system_config();
   cfg.initial_state = p.initial_state;
+  cfg.fault = p.fault;
   return cfg;
 }
 
@@ -93,6 +95,16 @@ std::string describe(const ExperimentParams& p) {
      << " rf=" << p.replication_factor << " zipf_z=" << p.zipf_z
      << " alpha=" << p.cost.alpha << " beta=" << p.cost.beta
      << " batch=" << p.batch_interval << "s";
+  // Fault-free experiments keep the historical one-line form untouched.
+  if (p.fault.enabled()) {
+    os << " faults[";
+    if (p.fault.mttf_seconds > 0.0) {
+      os << "mttf=" << p.fault.mttf_seconds << "s shape="
+         << p.fault.weibull_shape << " mttr=" << p.fault.mttr_seconds << "s ";
+    }
+    os << "scripted=" << p.fault.script.size() << " seed=" << p.fault.seed
+       << "]";
+  }
   return os.str();
 }
 

@@ -12,9 +12,11 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "core/energy_model.hpp"
 #include "disk/disk.hpp"
+#include "fault/fault.hpp"
 #include "placement/placement.hpp"
 #include "storage/storage_system.hpp"
 #include "trace/trace.hpp"
@@ -58,8 +60,14 @@ struct ExperimentParams {
   /// covering-subset ablation starts Idle (pinned disks boot first).
   disk::DiskState initial_state = disk::DiskState::Standby;
 
+  /// Fault injection (default: disabled, bit-identical to a build without
+  /// the fault subsystem). Travels into SystemConfig for every run of the
+  /// cell; emitters add availability columns when any cell enables it.
+  fault::FaultProfile fault{};
+
   /// Throws InvariantError on out-of-range values (rf outside 1..num_disks,
-  /// zipf_z outside [0,1], non-positive batch interval, ...).
+  /// zipf_z outside [0,1], non-positive batch interval, invalid fault
+  /// profile, ...).
   void validate() const;
 };
 
@@ -96,6 +104,18 @@ class ExperimentBuilder {
     return *this;
   }
   ExperimentBuilder& initial_state(disk::DiskState s) { p_.initial_state = s; return *this; }
+  ExperimentBuilder& fault(fault::FaultProfile f) { p_.fault = std::move(f); return *this; }
+  /// Convenience for the canonical degraded-mode experiment: fail-stop disk
+  /// `disk` at `time`, replacement online after `repair` seconds (0 = never).
+  ExperimentBuilder& fail_disk_at(DiskId disk, double time, double repair = 0.0) {
+    fault::ScriptedFault f;
+    f.kind = fault::ScriptedFault::Kind::kFailStop;
+    f.disk = disk;
+    f.time = time;
+    f.duration = repair;
+    p_.fault.script.push_back(f);
+    return *this;
+  }
 
   /// Validates and returns the parameter set (throws InvariantError).
   ExperimentParams build() const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_map>
 
 #include "core/basic_schedulers.hpp"
 #include "power/oracle.hpp"
@@ -85,6 +86,26 @@ std::string RunResult::to_json(bool include_disks) const {
   }
   w.end_object();
 
+  // Only fault-injected runs carry the faults object; the fault-free schema
+  // stays byte-identical to what it was before the subsystem existed.
+  if (faults_enabled) {
+    w.key("faults");
+    w.begin_object();
+    w.field("disk_failures", fault_stats.disk_failures);
+    w.field("transient_timeouts", fault_stats.transient_timeouts);
+    w.field("latent_sector_events", fault_stats.latent_sector_events);
+    w.field("repairs", fault_stats.repairs);
+    w.field("unavailable_requests", fault_stats.unavailable_requests);
+    w.field("failovers", fault_stats.failovers);
+    w.field("rebuilds_completed", fault_stats.rebuilds_completed);
+    w.field("rebuild_bytes", fault_stats.rebuild_bytes);
+    w.field("rebuild_items_lost", fault_stats.rebuild_items_lost);
+    w.field("degraded_seconds", fault_stats.degraded_seconds);
+    w.field("degraded_episodes", fault_stats.degraded_episodes);
+    w.field("mean_time_in_degraded", fault_stats.mean_time_in_degraded());
+    w.end_object();
+  }
+
   if (include_disks) {
     w.key("disks");
     w.begin_array();
@@ -111,7 +132,11 @@ std::string RunResult::to_json(bool include_disks) const {
 
 namespace {
 
-/// The live system: Fig 1's component wiring around the event kernel.
+/// The live system: Fig 1's component wiring around the event kernel, plus
+/// (when the config carries a fault profile) the degraded-mode machinery:
+/// queue drain + failover on disk death, unavailability accounting, and a
+/// rebuild driver that synthesizes internal re-replication I/O competing
+/// with the foreground stream.
 class System final : public core::SystemView {
  public:
   System(const SystemConfig& config, const placement::PlacementMap& placement,
@@ -130,6 +155,26 @@ class System final : public core::SystemView {
       disks_.back()->set_idle_callback(
           [this](disk::Disk& d) { policy_.on_disk_idle(sim_, d); });
     }
+    if (config_.fault.enabled()) {
+      view_ = std::make_unique<fault::FailureView>(placement.num_disks());
+      injector_ = std::make_unique<fault::FaultInjector>(sim_, *view_,
+                                                         config_.fault);
+      injector_->set_on_disk_down(
+          [this](DiskId k, fault::ScriptedFault::Kind kind) {
+            on_disk_down(k, kind);
+          });
+      injector_->set_on_disk_back([this](DiskId k, bool needs_rebuild) {
+        if (needs_rebuild) start_rebuild(k);
+      });
+      injector_->set_on_blocks_lost(
+          [this](DiskId k, DataId lo, DataId hi, double scrub_delay) {
+            if (scrub_delay > 0.0) {
+              sim_.schedule_in(scrub_delay,
+                               [this, k, lo, hi] { start_scrub(k, lo, hi); });
+            }
+          });
+      policy_.set_failure_view(view_.get());
+    }
   }
 
   // ---- core::SystemView ----
@@ -143,11 +188,56 @@ class System final : public core::SystemView {
   const disk::DiskPowerParams& power_params() const override {
     return config_.power;
   }
+  const fault::FailureView* failure_view() const override {
+    return view_.get();
+  }
 
   sim::Simulator& simulator() { return sim_; }
   const std::vector<disk::Disk*>& disk_ptrs() const { return disk_ptrs_; }
 
-  void start() { policy_.on_run_start(sim_, disk_ptrs_); }
+  /// `horizon` bounds fault injection (typically trace.end_time()): no
+  /// failure or repair event is scheduled past it, so the run terminates.
+  void start(double horizon) {
+    if (injector_) injector_->start(horizon);
+    policy_.on_run_start(sim_, disk_ptrs_);
+  }
+
+  /// Fault-aware dispatch of a *foreground* request: verifies the
+  /// scheduler's pick against the live failure view, fails over to the
+  /// first readable replica when the pick is stale (the disk died after the
+  /// decision), and counts the request unavailable when no live replica of
+  /// its data remains. kInvalidDisk from the scheduler means it already
+  /// established unavailability. Fault-free runs fall straight through.
+  void route(const disk::Request& r, DiskId k) {
+    if (view_ == nullptr) {
+      dispatch(r, k);
+      return;
+    }
+    if (k != kInvalidDisk && !view_->replica_readable(r.data, k)) {
+      const DiskId alt = view_->first_live(placement_, r.data);
+      if (alt != kInvalidDisk) ++stats().failovers;
+      k = alt;
+    } else if (k != kInvalidDisk && view_->degraded()) {
+      // The degraded-aware schedulers route around dead replicas before the
+      // pick reaches us; that is still a failover event — the request was
+      // served from a fault-shrunk candidate set.
+      for (const DiskId loc : placement_.locations(r.data)) {
+        if (!view_->replica_readable(r.data, loc)) {
+          ++stats().failovers;
+          break;
+        }
+      }
+    }
+    if (k == kInvalidDisk) {
+      ++stats().unavailable_requests;
+      return;
+    }
+    EAS_AUDIT_MSG(view_->replica_readable(r.data, k),
+                  "foreground request for data " << r.data
+                                                 << " routed to unreadable disk "
+                                                 << k);
+    dispatch(r, k);
+  }
 
   /// Routes a request to disk k, notifying the power policy first so stale
   /// spin-down timers are cancelled before the disk sees the work.
@@ -162,6 +252,11 @@ class System final : public core::SystemView {
   /// off-loading legitimately parks blocks on foreign disks.
   void dispatch_unchecked(disk::Request r, DiskId k) {
     EAS_REQUIRE_MSG(k < disks_.size(), "dispatch to unknown disk " << k);
+    // A dead disk must never receive a request — foreground or rebuild.
+    // route() and the rebuild driver both filter on the view, so tripping
+    // this means a caller bypassed them.
+    EAS_REQUIRE_MSG(view_ == nullptr || view_->accepts_io(k),
+                    "dispatch to failed disk " << k);
     r.dispatch_time = sim_.now();
     policy_.on_disk_activity(sim_, *disks_[k]);
     disks_[k]->submit(r);
@@ -183,15 +278,194 @@ class System final : public core::SystemView {
     r.response_times = std::move(responses_);
     r.total_requests = completed_;
     r.requests_waited_spinup = waited_spinup_;
+    if (injector_) {
+      const auto [secs, episodes] = view_->finalize_degraded(horizon);
+      stats().degraded_seconds = secs;
+      stats().degraded_episodes = episodes;
+      r.faults_enabled = true;
+      r.fault_stats = injector_->stats();
+    }
     return r;
   }
 
  private:
+  /// One in-progress re-replication: a serial copy pipeline onto `target`
+  /// (scrub == false: whole-disk rebuild after a replacement; scrub == true:
+  /// latent-sector repair on a live disk). Items move one at a time —
+  /// internal read on the first surviving replica, then internal write on
+  /// the target — so rebuild traffic interleaves with, rather than starves,
+  /// the foreground stream.
+  struct RebuildState {
+    std::vector<DataId> items;
+    std::size_t next = 0;
+    std::uint32_t epoch = 0;   ///< guards against stale completions
+    bool scrub = false;
+    bool writing = false;      ///< current item's phase
+  };
+
+  static constexpr RequestId kInternalBit = RequestId{1} << 63;
+  static RequestId internal_id(DiskId target, std::uint32_t epoch) {
+    return kInternalBit | (static_cast<RequestId>(target) << 32) | epoch;
+  }
+  static DiskId internal_target(RequestId id) {
+    return static_cast<DiskId>((id & ~kInternalBit) >> 32);
+  }
+
+  fault::FaultStats& stats() { return injector_->stats(); }
+
   void on_completion(const disk::Completion& c) {
+    last_completion_ = std::max(last_completion_, c.completion_time);
+    if (c.request.internal) {
+      on_internal_completion(c);
+      return;
+    }
     ++completed_;
     if (c.waited_for_spinup) ++waited_spinup_;
     responses_.add(c.response_seconds());
-    last_completion_ = std::max(last_completion_, c.completion_time);
+  }
+
+  /// Fail-stop/transient handler: abort any rebuild targeting the disk,
+  /// drain its queue, and fail the drained work over to live replicas.
+  void on_disk_down(DiskId k, fault::ScriptedFault::Kind /*kind*/) {
+    if (auto it = rebuilds_.find(k); it != rebuilds_.end()) {
+      // The disk being repaired died again (scrub target): abort. Items not
+      // yet restored stay in the lost set; a later full rebuild covers them.
+      rebuilds_.erase(it);
+      view_->set_rebuild_pin(sim_.now(), k, false);
+    }
+    for (const disk::Request& r : disks_[k]->take_pending()) {
+      if (r.internal) {
+        const DiskId target = internal_target(r.id);
+        if (target == k) continue;  // write onto the dying disk: dropped
+        // A rebuild's source read was queued here; retry from another
+        // surviving replica (or count the item lost).
+        if (auto rit = rebuilds_.find(target); rit != rebuilds_.end() &&
+                                               rit->second.epoch ==
+                                                   static_cast<std::uint32_t>(r.id)) {
+          rit->second.writing = false;
+          advance_rebuild(target);
+        }
+        continue;
+      }
+      const DiskId alt = view_->first_live(placement_, r.data);
+      if (alt == kInvalidDisk) {
+        ++stats().unavailable_requests;
+      } else {
+        ++stats().failovers;
+        dispatch(r, alt);  // arrival_time kept: failover delay is visible
+      }
+    }
+  }
+
+  /// A replacement disk came online: replay every block placed on it from
+  /// surviving replicas.
+  void start_rebuild(DiskId k) {
+    EAS_REQUIRE_MSG(view_->health(k) == fault::DiskHealth::kRebuilding,
+                    "rebuild target " << k << " is not in rebuilding state");
+    RebuildState st;
+    st.epoch = ++rebuild_epoch_;
+    for (DataId b = 0; b < placement_.num_data(); ++b) {
+      if (placement_.stores(b, k)) st.items.push_back(b);
+    }
+    view_->set_rebuild_pin(sim_.now(), k, true);
+    rebuilds_[k] = std::move(st);
+    advance_rebuild(k);
+  }
+
+  /// Scrub detected latent sector errors: re-replicate the lost blocks onto
+  /// the (still live) disk that holds them.
+  void start_scrub(DiskId k, DataId lo, DataId hi) {
+    if (!view_->disk_up(k)) return;       // disk died before the scrub ran
+    if (rebuilds_.contains(k)) return;    // already repairing this disk
+    RebuildState st;
+    st.epoch = ++rebuild_epoch_;
+    st.scrub = true;
+    for (DataId b = lo; b <= hi && b != kInvalidData; ++b) {
+      if (placement_.stores(b, k) && !view_->replica_readable(b, k)) {
+        st.items.push_back(b);
+      }
+    }
+    view_->set_rebuild_pin(sim_.now(), k, true);
+    rebuilds_[k] = std::move(st);
+    advance_rebuild(k);
+  }
+
+  /// Issues the next internal read of the rebuild on `target`, skipping
+  /// items with no surviving replica; completes the rebuild when items run
+  /// out.
+  void advance_rebuild(DiskId target) {
+    auto it = rebuilds_.find(target);
+    EAS_ASSERT(it != rebuilds_.end());
+    RebuildState& st = it->second;
+    while (st.next < st.items.size()) {
+      const DataId b = st.items[st.next];
+      DiskId src = kInvalidDisk;
+      for (DiskId s : placement_.locations(b)) {
+        if (s != target && view_->replica_readable(b, s)) {
+          src = s;
+          break;
+        }
+      }
+      if (src == kInvalidDisk) {
+        ++stats().rebuild_items_lost;
+        ++st.next;
+        continue;
+      }
+      disk::Request rr;
+      rr.id = internal_id(target, st.epoch);
+      rr.data = b;
+      rr.size_bytes = config_.fault.rebuild_bytes_per_item;
+      rr.arrival_time = sim_.now();
+      rr.internal = true;
+      st.writing = false;
+      dispatch(rr, src);
+      return;
+    }
+    finish_rebuild(target, st.scrub);
+  }
+
+  void on_internal_completion(const disk::Completion& c) {
+    const DiskId target = internal_target(c.request.id);
+    auto it = rebuilds_.find(target);
+    if (it == rebuilds_.end() ||
+        it->second.epoch != static_cast<std::uint32_t>(c.request.id)) {
+      return;  // rebuild was aborted while this transfer was in flight
+    }
+    RebuildState& st = it->second;
+    if (!st.writing) {
+      // Source read done; copy onto the target. The target is kRebuilding
+      // (or kUp for a scrub) — never kDown: on_disk_down aborts first.
+      EAS_REQUIRE_MSG(view_->accepts_io(target),
+                      "rebuild write targets failed disk " << target);
+      st.writing = true;
+      disk::Request w = c.request;
+      w.arrival_time = sim_.now();
+      dispatch(w, target);
+      return;
+    }
+    // Write landed: the item is restored.
+    stats().rebuild_bytes += c.request.size_bytes;
+    if (st.scrub) {
+      view_->clear_lost_range(sim_.now(), target, c.request.data,
+                              c.request.data);
+    }
+    ++st.next;
+    advance_rebuild(target);
+  }
+
+  void finish_rebuild(DiskId target, bool scrub) {
+    const double t = sim_.now();
+    rebuilds_.erase(target);
+    ++stats().rebuilds_completed;
+    view_->set_rebuild_pin(t, target, false);
+    if (!scrub) {
+      // The replacement now holds every restorable block; any ranges lost
+      // on the old incarnation are moot.
+      if (view_->has_lost_ranges(target)) {
+        view_->clear_lost_range(t, target, 0, kInvalidData);
+      }
+      view_->set_health(t, target, fault::DiskHealth::kUp);
+    }
   }
 
   SystemConfig config_;
@@ -200,6 +474,12 @@ class System final : public core::SystemView {
   sim::Simulator sim_;
   std::vector<std::unique_ptr<disk::Disk>> disks_;
   std::vector<disk::Disk*> disk_ptrs_;
+
+  /// Null in fault-free runs: zero overhead, bit-identical behavior.
+  std::unique_ptr<fault::FailureView> view_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unordered_map<DiskId, RebuildState> rebuilds_;
+  std::uint32_t rebuild_epoch_ = 0;
 
   stats::SampleStore responses_;
   std::uint64_t completed_ = 0;
@@ -228,10 +508,10 @@ RunResult run_online(const SystemConfig& config,
   for (std::size_t i = 0; i < trace.size(); ++i) {
     sim.schedule_at(trace[i].time, [&system, &sched, &trace, i] {
       const disk::Request r = make_request(i, trace[i]);
-      system.dispatch(r, sched.pick(r, system));
+      system.route(r, sched.pick(r, system));
     });
   }
-  system.start();
+  system.start(trace.end_time());
   return system.finish(sched.name());
 }
 
@@ -274,7 +554,7 @@ RunResult run_batch(const SystemConfig& config,
                                                 << " picks for "
                                                 << batch.size() << " requests");
       for (std::size_t b = 0; b < batch.size(); ++b) {
-        system.dispatch(batch[b], assignment[b]);
+        system.route(batch[b], assignment[b]);
       }
     }
     if (*remaining > 0 || !pending->empty()) {
@@ -285,7 +565,7 @@ RunResult run_batch(const SystemConfig& config,
   };
   if (!trace.empty()) sim.schedule_at(trace.start_time() + interval, *tick);
 
-  system.start();
+  system.start(trace.end_time());
   return system.finish(sched.name());
 }
 
@@ -302,10 +582,10 @@ RunResult run_offline(const SystemConfig& config,
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const DiskId k = assignment.disk_of_request[i];
     sim.schedule_at(trace[i].time, [&system, &trace, i, k] {
-      system.dispatch(make_request(i, trace[i]), k);
+      system.route(make_request(i, trace[i]), k);
     });
   }
-  system.start();
+  system.start(trace.end_time());
   return system.finish(scheduler_name);
 }
 
@@ -325,6 +605,11 @@ RunResult run_online_mixed(const SystemConfig& config,
                            core::OnlineScheduler& sched,
                            power::PowerPolicy& policy,
                            core::WriteOffloadManager& offloader) {
+  // The off-loader routes by its own log, blind to the failure view; wiring
+  // it into degraded mode is future work, so fail loudly rather than run a
+  // fault profile it would silently ignore.
+  EAS_REQUIRE_MSG(!config.fault.enabled(),
+                  "write-offload runs do not support fault injection");
   System system(config, placement, policy);
   auto& sim = system.simulator();
   for (std::size_t i = 0; i < trace.size(); ++i) {
@@ -344,7 +629,7 @@ RunResult run_online_mixed(const SystemConfig& config,
       system.dispatch(r, sched.pick(r, system));
     });
   }
-  system.start();
+  system.start(trace.end_time());
   return system.finish(sched.name() + "+write-offload");
 }
 

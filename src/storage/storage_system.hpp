@@ -10,6 +10,8 @@
 #include "core/scheduler.hpp"
 #include "core/write_offload.hpp"
 #include "disk/disk.hpp"
+#include "fault/fault.hpp"
+#include "fault/injector.hpp"
 #include "placement/placement.hpp"
 #include "power/policy.hpp"
 #include "sim/simulator.hpp"
@@ -25,6 +27,10 @@ struct SystemConfig {
   /// always-on baseline starts Idle (runners pick this automatically for
   /// AlwaysOnPolicy).
   disk::DiskState initial_state = disk::DiskState::Standby;
+  /// Fault injection. Default-constructed (disabled) keeps the whole fault
+  /// path dormant: no FailureView exists and results are bit-identical to
+  /// builds without the subsystem.
+  fault::FaultProfile fault{};
 };
 
 /// Everything a run produces; the figures are all derived from this.
@@ -36,6 +42,11 @@ struct RunResult {
   stats::SampleStore response_times;
   std::uint64_t total_requests = 0;
   std::uint64_t requests_waited_spinup = 0;
+  /// Set when the run's SystemConfig carried an enabled fault profile; the
+  /// "faults" JSON object and availability columns exist only then, so
+  /// fault-free output is byte-identical to the pre-fault schema.
+  bool faults_enabled = false;
+  fault::FaultStats fault_stats{};
 
   double total_energy() const;
   std::uint64_t total_spin_ups() const;

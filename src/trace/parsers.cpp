@@ -1,8 +1,10 @@
 #include "trace/parsers.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <unordered_map>
 
@@ -34,6 +36,21 @@ DataId intern(Interner& map, long long device, long long block) {
   auto [it, inserted] = map.try_emplace(BlockKey{device, block},
                                         static_cast<DataId>(map.size()));
   return it->second;
+}
+
+// strtod happily parses "inf"/"nan" (and overflowing literals become +inf),
+// but a non-finite timestamp would blow up far away, inside the simulator's
+// schedule_at contract. Reject it here with the offending line number.
+bool finite_time(const std::optional<double>& t) {
+  return t.has_value() && std::isfinite(*t) && *t >= 0.0;
+}
+
+// Device ids are interned, so any value fits; direct DataId fields must fit
+// the 32-bit id type (whose max is the kInvalidData sentinel) or the cast
+// would silently wrap / forge the sentinel.
+bool fits_data_id(long long v) {
+  return v >= 0 && static_cast<unsigned long long>(v) <
+                       std::numeric_limits<DataId>::max();
 }
 
 bool parse_opcode(std::string_view field, bool& is_read) {
@@ -71,9 +88,11 @@ Trace pump(std::istream& in, const ParseOptions& opts, ParseReport* report,
       error = e.what();
     }
     if (!ok) {
-      if (!opts.lenient) {
-        throw TraceParseError(error.empty() ? "malformed record" : error,
-                              line_no);
+      if (error.empty()) error = "malformed record";
+      if (!opts.lenient) throw TraceParseError(error, line_no);
+      if (local.first_error_line == 0) {
+        local.first_error_line = line_no;
+        local.first_error = error;
       }
       ++local.skipped_malformed;
       continue;
@@ -109,10 +128,20 @@ Trace parse_spc(std::istream& in, const ParseOptions& opts,
                 const auto size = util::parse_int(fields[2]);
                 const auto time = util::parse_double(fields[4]);
                 bool is_read = false;
-                if (!asu || !lba || !size || !time ||
-                    !parse_opcode(fields[3], is_read) || *size < 0 ||
-                    *time < 0.0) {
-                  error = "unparseable SPC fields";
+                if (!asu || !lba) {
+                  error = "unparseable SPC ASU/LBA";
+                  return false;
+                }
+                if (!size || *size < 0) {
+                  error = "bad SPC size field";
+                  return false;
+                }
+                if (!parse_opcode(fields[3], is_read)) {
+                  error = "bad SPC opcode (expected r/R/w/W)";
+                  return false;
+                }
+                if (!finite_time(time)) {
+                  error = "bad SPC timestamp (must be finite and >= 0)";
                   return false;
                 }
                 rec.time = *time;
@@ -147,9 +176,20 @@ Trace parse_cello_text(std::istream& in, const ParseOptions& opts,
         const auto block = util::parse_int(fields[2]);
         const auto size = util::parse_int(fields[3]);
         bool is_read = false;
-        if (!time || !dev || !block || !size ||
-            !parse_opcode(fields[4], is_read) || *size < 0 || *time < 0.0) {
-          error = "unparseable Cello fields";
+        if (!dev || !block) {
+          error = "unparseable Cello device/block";
+          return false;
+        }
+        if (!size || *size < 0) {
+          error = "bad Cello size field";
+          return false;
+        }
+        if (!parse_opcode(fields[4], is_read)) {
+          error = "bad Cello opcode (expected r/R/w/W)";
+          return false;
+        }
+        if (!finite_time(time)) {
+          error = "bad Cello timestamp (must be finite and >= 0)";
           return false;
         }
         rec.time = *time;
@@ -178,10 +218,20 @@ Trace parse_csv(std::istream& in, const ParseOptions& opts,
                 const auto data = util::parse_int(fields[1]);
                 const auto size = util::parse_int(fields[2]);
                 bool is_read = false;
-                if (!time || !data || !size ||
-                    !parse_opcode(fields[3], is_read) || *data < 0 ||
-                    *size < 0 || *time < 0.0) {
-                  error = "unparseable CSV fields";
+                if (!data || !fits_data_id(*data)) {
+                  error = "bad CSV data id (must fit 32-bit id)";
+                  return false;
+                }
+                if (!size || *size < 0) {
+                  error = "bad CSV size field";
+                  return false;
+                }
+                if (!parse_opcode(fields[3], is_read)) {
+                  error = "bad CSV opcode (expected r/R/w/W)";
+                  return false;
+                }
+                if (!finite_time(time)) {
+                  error = "bad CSV timestamp (must be finite and >= 0)";
                   return false;
                 }
                 rec.time = *time;

@@ -52,6 +52,11 @@ struct ParseReport {
   std::size_t parsed = 0;
   std::size_t skipped_malformed = 0;
   std::size_t skipped_writes = 0;
+  /// First malformed line seen in lenient mode (0 = none), plus its error
+  /// text, so callers can surface *why* records were dropped instead of
+  /// just counting them.
+  std::size_t first_error_line = 0;
+  std::string first_error;
 };
 
 /// Parses UMass/SPC CSV (Financial1 format). Data ids are densified in

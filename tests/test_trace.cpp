@@ -1,6 +1,8 @@
 // Tests for traces, parsers and the calibrated synthetic generators.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <sstream>
 
 #include "trace/parsers.hpp"
@@ -182,6 +184,140 @@ TEST(CsvRoundTrip, WriteThenParseIsIdentity) {
 TEST(CsvParser, RequiresHeader) {
   std::istringstream in("0.0,1,512,r\n");
   EXPECT_THROW(parse_csv(in, {}), TraceParseError);
+}
+
+// --------------------------------------------------- corrupt-input fixtures
+//
+// The parsers feed the simulator, whose schedule_at contract requires
+// finite non-negative times; anything non-finite must die here, at the
+// parse boundary, with a line number — not deep inside the event loop.
+
+TEST(ParserHardening, NonFiniteTimesRejectedWithLineNumber) {
+  const char* bad_times[] = {"inf", "-inf", "nan", "1e999"};
+  for (const char* t : bad_times) {
+    std::istringstream spc(std::string("0,1,512,r,") + t + "\n");
+    try {
+      parse_spc(spc, {});
+      FAIL() << "SPC accepted timestamp " << t;
+    } catch (const TraceParseError& e) {
+      EXPECT_EQ(e.line(), 1u) << t;
+    }
+    std::istringstream cello(std::string(t) + " 3 8800 2048 r\n");
+    EXPECT_THROW(parse_cello_text(cello, {}), TraceParseError) << t;
+    std::istringstream csv(std::string("time,data,size,op\n") + t +
+                           ",1,512,r\n");
+    EXPECT_THROW(parse_csv(csv, {}), TraceParseError) << t;
+  }
+}
+
+TEST(ParserHardening, NegativeTimeAndSizeRejected) {
+  std::istringstream neg_time("0,1,512,r,-2.0\n");
+  EXPECT_THROW(parse_spc(neg_time, {}), TraceParseError);
+  std::istringstream neg_size("0,1,-512,r,2.0\n");
+  EXPECT_THROW(parse_spc(neg_size, {}), TraceParseError);
+}
+
+TEST(ParserHardening, CsvDataIdMustFit32Bits) {
+  // 2^32 would silently wrap to 0 through the DataId cast, and 2^32 - 1
+  // would forge the kInvalidData sentinel.
+  std::istringstream wrap("time,data,size,op\n1.0,4294967296,512,r\n");
+  EXPECT_THROW(parse_csv(wrap, {}), TraceParseError);
+  std::istringstream sentinel("time,data,size,op\n1.0,4294967295,512,r\n");
+  EXPECT_THROW(parse_csv(sentinel, {}), TraceParseError);
+  std::istringstream ok("time,data,size,op\n1.0,4294967294,512,r\n");
+  EXPECT_EQ(parse_csv(ok, {}).size(), 1u);
+}
+
+TEST(ParserHardening, LenientReportCarriesFirstErrorDetail) {
+  std::istringstream in(
+      "0,1,512,r,0.0\n"
+      "0,1,512,r,nan\n"
+      "total junk\n");
+  ParseOptions opts;
+  opts.lenient = true;
+  ParseReport report;
+  const auto t = parse_spc(in, opts, &report);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(report.skipped_malformed, 2u);
+  EXPECT_EQ(report.first_error_line, 2u);
+  EXPECT_NE(report.first_error.find("timestamp"), std::string::npos)
+      << report.first_error;
+}
+
+TEST(ParserHardening, ErrorMessagesNameTheBadField) {
+  struct Case {
+    const char* line;
+    const char* expect;  // substring of the error message
+  };
+  const Case cases[] = {
+      {"x,1,512,r,0.0", "ASU"},
+      {"0,1,zz,r,0.0", "size"},
+      {"0,1,512,q,0.0", "opcode"},
+      {"0,1,512,r,later", "timestamp"},
+  };
+  for (const auto& c : cases) {
+    std::istringstream in(std::string(c.line) + "\n");
+    try {
+      parse_spc(in, {});
+      FAIL() << "accepted: " << c.line;
+    } catch (const TraceParseError& e) {
+      EXPECT_NE(std::string(e.what()).find(c.expect), std::string::npos)
+          << c.line << " -> " << e.what();
+    }
+  }
+}
+
+TEST(ParserHardening, FuzzedCorruptionNeverCrashesLenientParsers) {
+  // Deterministic fuzz: mutate valid lines (truncate, splice binary bytes,
+  // duplicate fields, swap separators) and require that lenient parsing
+  // never throws and every surviving record is simulator-safe.
+  const std::string seeds[] = {
+      "0,1234,4096,r,0.5", "1,5678,512,w,2.25", "2,9,65536,R,10.0"};
+  std::uint64_t state = 0x2545F4914F6CDD1DULL;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  std::ostringstream fixture;
+  for (int i = 0; i < 500; ++i) {
+    std::string line = seeds[next() % 3];
+    switch (next() % 5) {
+      case 0:
+        line = line.substr(0, next() % (line.size() + 1));  // truncate
+        break;
+      case 1:
+        line[next() % line.size()] =
+            static_cast<char>(next() % 256);  // byte flip (may be NUL)
+        break;
+      case 2:
+        line += "," + line;  // field duplication
+        break;
+      case 3:
+        for (auto& ch : line) {
+          if (ch == ',') ch = ';';  // wrong separator
+        }
+        break;
+      case 4:
+        break;  // leave valid
+    }
+    fixture << line << "\n";
+  }
+  ParseOptions opts;
+  opts.lenient = true;
+  opts.reads_only = false;
+  ParseReport report;
+  std::istringstream in(fixture.str());
+  Trace t(std::vector<TraceRecord>{});
+  ASSERT_NO_THROW(t = parse_spc(in, opts, &report));
+  EXPECT_EQ(report.parsed, t.size());
+  EXPECT_GT(report.parsed, 0u);        // the untouched lines survive
+  EXPECT_GT(report.skipped_malformed, 0u);
+  for (const auto& r : t.records()) {
+    EXPECT_TRUE(std::isfinite(r.time));
+    EXPECT_GE(r.time, 0.0);
+  }
 }
 
 // ------------------------------------------------------------- synthetic

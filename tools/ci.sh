@@ -3,11 +3,13 @@
 #
 #   1. determinism lint (fast, no toolchain needed)
 #   2. default build + full test suite, warnings fatal
-#   3. audit build (EASCHED_AUDIT=ON): every EAS_ASSERT/EAS_AUDIT compiled
+#   3. fault smoke (fault-smoke label + the availability ablation end to
+#      end: the degraded-mode surface on its own, attributable stage)
+#   4. audit build (EASCHED_AUDIT=ON): every EAS_ASSERT/EAS_AUDIT compiled
 #      into the release binary, full suite again
-#   4. ASan+UBSan smoke (sanitize-smoke preset, reduced request counts)
-#   5. TSan sweep smoke (sweep-smoke preset: the concurrency surface)
-#   6. clang-tidy over all TUs via the lint preset (skipped with a notice
+#   5. ASan+UBSan smoke (sanitize-smoke preset, reduced request counts)
+#   6. TSan sweep smoke (sweep-smoke preset: the concurrency surface)
+#   7. clang-tidy over all TUs via the lint preset (skipped with a notice
 #      when clang-tidy is not installed)
 #
 # Any stage failing fails the script. Stages can be skipped by name:
@@ -62,6 +64,16 @@ stage_tsan() {
   ctest --preset sweep-smoke -j "$jobs"
 }
 
+# Degraded-mode surface on its own label so a failover regression is
+# attributable at a glance (the default stage runs these tests too; this
+# stage re-runs just them, plus the availability ablation end to end).
+stage_fault() {
+  cmake --preset default
+  cmake --build --preset default -j "$jobs"
+  ctest --preset fault-smoke -j "$jobs"
+  EAS_REQUESTS=3000 ./build/bench/bench_ablation_fault_availability > /dev/null
+}
+
 stage_lint() {
   if ! command -v clang-tidy > /dev/null 2>&1; then
     echo "clang-tidy not installed; skipping lint stage"
@@ -73,6 +85,7 @@ stage_lint() {
 
 run_stage determinism stage_determinism
 run_stage default stage_default
+run_stage fault stage_fault
 run_stage audit stage_audit
 run_stage asan stage_asan
 run_stage tsan stage_tsan

@@ -66,10 +66,24 @@ report "system_clock in library code is banned (steady_clock for spans; never fo
 report "std::function in src/sim/ is banned — use sim::InlineCallback (48B SBO)" \
   "$(grep_src 'std::function<' | grep -E '^src/sim/')"
 
+# Fault injection must draw every random variate from the seeded util::Rng
+# streams (one per disk) or the failure timeline would change across reruns
+# and EAS_THREADS values. Ban <random> engines/distributions outright in
+# src/fault/ — rand()/random_device are already banned globally above.
+fault_files=$(find src/fault -name '*.cpp' -o -name '*.hpp' 2>/dev/null)
+if [[ -n "$fault_files" ]]; then
+  # shellcheck disable=SC2086
+  hits=$(grep -nE 'std::(mt19937|minstd_rand|ranlux|knuth_b|default_random_engine|(uniform|normal|exponential|weibull|gamma|poisson|bernoulli|binomial|geometric|discrete)[a-z_]*_distribution)|#include[[:space:]]*<random>' \
+    $fault_files 2>/dev/null | grep -v 'det-ok:')
+  report "non-seeded/stdlib RNG in src/fault/ is banned — use util::Rng streams keyed off FaultProfile::seed" \
+    "$hits"
+fi
+
 # Unordered-container iteration inside decision modules: any range-for whose
 # range expression names an unordered container, in the modules that make
-# scheduling/power/placement decisions.
-decision_files=$(find src/core src/power src/graph src/placement src/runner \
+# scheduling/power/placement decisions. The fault module decides failure
+# timelines and rebuild targets, so it is held to the same bar.
+decision_files=$(find src/core src/power src/graph src/placement src/runner src/fault \
   -name '*.cpp' -o -name '*.hpp' 2>/dev/null)
 if [[ -n "$decision_files" ]]; then
   # shellcheck disable=SC2086
