@@ -2,11 +2,16 @@
 // the §4.3 roster over two replication factors, executed concurrently,
 // with the same results no matter how many worker threads run it.
 //
-//   $ ./sweep_grid                      # aligned table
+// Output goes through the composable sink API: the builder selects the
+// primary format plus the observability sinks (here: metrics, and a Chrome
+// trace written next to the results — load sweep_grid.trace.json in
+// Perfetto to see each cell's per-disk power-state timeline).
+//
+//   $ ./sweep_grid                      # aligned table + metrics + trace
 //   $ EAS_EMIT=json EAS_THREADS=8 ./sweep_grid
 #include <iostream>
 
-#include "runner/emit.hpp"
+#include "runner/sinks.hpp"
 #include "runner/sweep.hpp"
 
 using namespace eas;
@@ -14,8 +19,20 @@ using namespace eas;
 int main() {
   // A validated parameter set (builder throws on nonsense values) scaled
   // down from the paper's 70k requests so the example finishes in seconds.
+  // trace()/metrics() switch the recorder and registry on for every run of
+  // every cell; sink() says where the artifacts go. build() cross-checks
+  // the two (a sink cannot ask for artifacts no run produces).
+  runner::SinkConfig out = runner::SinkConfig::from_env();  // EAS_EMIT compat
+  out.with_metrics = true;
+  out.with_trace = true;
+  out.trace_path = "sweep_grid.trace.json";
   const auto base = runner::ExperimentBuilder(runner::Workload::kCello)
                         .requests(5000)
+                        .trace({.categories = obs::cat_bit(obs::Cat::kPower) |
+                                              obs::cat_bit(obs::Cat::kBatch),
+                                .capacity = 1u << 15})
+                        .metrics()
+                        .sink(out)
                         .build();
 
   // One cell per (rf, scheduler); every cell shares the same immutable
@@ -32,10 +49,12 @@ int main() {
   opts.progress = &std::cerr;  // "# sweep: ..." summary line
   const auto results = runner::SweepRunner(opts).run(std::move(cells));
 
-  // Raw per-cell dump (status, wall time, RSS, full result in JSON mode).
-  runner::emit_cells(std::cout, results, runner::emit_format_from_env());
+  // One sink handles everything: the raw per-cell dump in the selected
+  // format, then the merged metrics line and the combined trace file.
+  const auto sink = runner::make_sink(base.sink, std::cout);
+  sink->cells(results);
 
-  // Or pivot into a figure-style table: rows = rf, columns = schedulers.
+  // Figure-style pivots ride the same sink: rows = rf, cols = schedulers.
   const auto power = runner::paper_system_config().power;
   runner::ResultTable t("normalized energy",
                         {"rf", "always-on", "static", "heuristic", "wsc",
@@ -48,6 +67,6 @@ int main() {
                  .result.normalized_energy(power));
     }
   }
-  t.emit(std::cout, runner::emit_format_from_env());
+  sink->table(t);
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "disk/disk.hpp"
 
+#include "obs/trace_recorder.hpp"
+
 namespace eas::disk {
 
 const char* to_string(DiskState s) {
@@ -92,6 +94,9 @@ void Disk::transition_to(DiskState next) {
       "illegal power transition " << to_string(state_) << " -> "
                                   << to_string(next) << " on disk " << id_);
   flush_accounting();
+  EAS_OBS(sim_.recorder(),
+          power_transition(sim_.now(), id_, static_cast<std::uint32_t>(state_),
+                           static_cast<std::uint32_t>(next)));
   state_ = next;
   state_since_ = sim_.now();
 }
@@ -134,6 +139,9 @@ void Disk::submit(const Request& r) {
                              state_ == DiskState::SpinningUp ||
                              state_ == DiskState::SpinningDown;
   queue_.push_back(Pending{r, disk_was_down});
+  EAS_OBS(sim_.recorder(),
+          request_event(sim_.now(), obs::Ev::kQueue, r.id, id_,
+                        static_cast<std::uint32_t>(queued_requests())));
 
   switch (state_) {
     case DiskState::Idle:
@@ -222,6 +230,8 @@ void Disk::start_service() {
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
   in_service_ = true;
   current_started_ = sim_.now();
+  EAS_OBS(sim_.recorder(), request_event(sim_.now(), obs::Ev::kServiceBegin,
+                                         current_.id, id_));
   double service;
   if (perf_.use_position_model) {
     const unsigned target = cylinder_of(current_.data, perf_.num_cylinders);
@@ -239,6 +249,8 @@ void Disk::complete_service() {
   EAS_CHECK(in_service_);
   in_service_ = false;
   ++stats_.requests_served;
+  EAS_OBS(sim_.recorder(), request_event(sim_.now(), obs::Ev::kServiceEnd,
+                                         current_.id, id_));
 
   Completion c;
   c.request = current_;

@@ -1,0 +1,165 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace eas::obs {
+
+namespace {
+// Placeholder binning for counter/gauge/summary entries whose histogram
+// member is unused; any valid range works.
+constexpr double kUnusedHistMin = 1.0;
+constexpr double kUnusedHistMax = 10.0;
+constexpr int kUnusedHistBpd = 1;
+}  // namespace
+
+const char* to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kSummary:
+      return "summary";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+Metric& MetricRegistry::find_or_create(const std::string& name,
+                                       MetricKind kind, double hist_min,
+                                       double hist_max, int bins_per_decade) {
+  EAS_REQUIRE_MSG(!name.empty(), "metric name is empty");
+  for (Metric& m : entries_) {
+    if (m.name == name) {
+      EAS_REQUIRE_MSG(m.kind == kind, "metric '" << name
+                                                 << "' re-registered as "
+                                                 << to_string(kind)
+                                                 << " but exists as "
+                                                 << to_string(m.kind));
+      return m;
+    }
+  }
+  entries_.emplace_back(name, kind, hist_min, hist_max, bins_per_decade);
+  return entries_.back();
+}
+
+std::uint64_t* MetricRegistry::counter(const std::string& name) {
+  return &find_or_create(name, MetricKind::kCounter, kUnusedHistMin,
+                         kUnusedHistMax, kUnusedHistBpd)
+              .counter;
+}
+
+double* MetricRegistry::gauge(const std::string& name) {
+  return &find_or_create(name, MetricKind::kGauge, kUnusedHistMin,
+                         kUnusedHistMax, kUnusedHistBpd)
+              .gauge;
+}
+
+stats::SummaryStats* MetricRegistry::summary(const std::string& name) {
+  return &find_or_create(name, MetricKind::kSummary, kUnusedHistMin,
+                         kUnusedHistMax, kUnusedHistBpd)
+              .summary;
+}
+
+stats::Histogram* MetricRegistry::histogram(const std::string& name,
+                                            double min_value,
+                                            double max_value,
+                                            int bins_per_decade) {
+  return &find_or_create(name, MetricKind::kHistogram, min_value, max_value,
+                         bins_per_decade)
+              .histogram;
+}
+
+const Metric* MetricRegistry::find(const std::string& name) const {
+  for (const Metric& m : entries_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+void MetricRegistry::merge(const MetricRegistry& other) {
+  for (const Metric& src : other.entries_) {
+    Metric* dst = nullptr;
+    for (Metric& m : entries_) {
+      if (m.name == src.name) {
+        dst = &m;
+        break;
+      }
+    }
+    if (dst == nullptr) {
+      // Clone wholesale — this also carries the source histogram's binning.
+      entries_.push_back(src);
+      continue;
+    }
+    EAS_REQUIRE_MSG(dst->kind == src.kind,
+                    "merge kind mismatch for metric '" << src.name << "'");
+    switch (src.kind) {
+      case MetricKind::kCounter:
+        dst->counter += src.counter;
+        break;
+      case MetricKind::kGauge:
+        dst->gauge = src.gauge;
+        break;
+      case MetricKind::kSummary:
+        dst->summary += src.summary;
+        break;
+      case MetricKind::kHistogram:
+        dst->histogram += src.histogram;
+        break;
+    }
+  }
+}
+
+std::string MetricRegistry::to_json() const {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  for (const Metric& m : entries_) {
+    w.key(m.name);
+    w.begin_object();
+    w.field("kind", to_string(m.kind));
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        w.field("value", m.counter);
+        break;
+      case MetricKind::kGauge:
+        w.key("value");
+        w.raw(util::json_number(m.gauge));
+        break;
+      case MetricKind::kSummary:
+        w.field("count", m.summary.count());
+        if (m.summary.count() > 0) {
+          w.key("mean");
+          w.raw(util::json_number(m.summary.mean()));
+          w.key("min");
+          w.raw(util::json_number(m.summary.min()));
+          w.key("max");
+          w.raw(util::json_number(m.summary.max()));
+        }
+        break;
+      case MetricKind::kHistogram: {
+        w.field("total", m.histogram.total_count());
+        w.key("bins");
+        w.begin_array();
+        for (std::size_t b = 0; b < m.histogram.num_bins(); ++b) {
+          if (m.histogram.bin_count(b) == 0) continue;
+          w.begin_array();
+          w.value(b);
+          w.value(m.histogram.bin_count(b));
+          w.end_array();
+        }
+        w.end_array();
+        break;
+      }
+    }
+    w.end_object();
+  }
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace eas::obs

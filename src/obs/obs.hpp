@@ -1,0 +1,23 @@
+// Umbrella config for the observability layer: what a run should record.
+//
+// ObsConfig travels inside storage::SystemConfig (and ExperimentParams), so
+// enabling tracing or metrics for a sweep is just another experiment knob —
+// deterministic, serializable, no environment variables involved.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
+
+namespace eas::obs {
+
+struct ObsConfig {
+  TraceConfig trace{};
+  /// Enables the per-run MetricRegistry (counters/gauges/summaries/
+  /// histograms sampled by the storage system).
+  bool metrics = false;
+
+  bool enabled() const { return trace.enabled || metrics; }
+  void validate() const { trace.validate(); }
+};
+
+}  // namespace eas::obs

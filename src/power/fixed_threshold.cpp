@@ -1,6 +1,9 @@
 #include "power/fixed_threshold.hpp"
 
+#include <cmath>
 #include <sstream>
+
+#include "obs/trace_recorder.hpp"
 
 namespace eas::power {
 
@@ -22,6 +25,10 @@ void FixedThresholdPolicy::on_disk_idle(sim::Simulator& sim, disk::Disk& d) {
   // Replace any stale timer: the disk has begun a fresh idle period.
   auto it = timers_.find(d.id());
   if (it != timers_.end()) sim.cancel(it->second);
+  EAS_OBS(sim.recorder(),
+          policy_event(sim.now(), obs::Ev::kPolicyArm, d.id(),
+                       static_cast<std::uint64_t>(
+                           std::llround(threshold_for(d) * 1e6))));
   disk::Disk* dp = &d;
   timers_[d.id()] =
       sim.schedule_in(threshold_for(d), [this, dp] {
@@ -39,7 +46,12 @@ void FixedThresholdPolicy::on_disk_activity(sim::Simulator& sim,
                                             disk::Disk& d) {
   auto it = timers_.find(d.id());
   if (it != timers_.end()) {
-    sim.cancel(it->second);
+    // Only report a cancel when one actually happened: the timer may have
+    // already fired (disk spun down and is being woken).
+    if (sim.cancel(it->second)) {
+      EAS_OBS(sim.recorder(),
+              policy_event(sim.now(), obs::Ev::kPolicyCancel, d.id()));
+    }
     timers_.erase(it);
   }
 }

@@ -9,26 +9,10 @@
 
 namespace eas::runner {
 
-const char* to_string(EmitFormat f) {
-  switch (f) {
-    case EmitFormat::kTable:
-      return "table";
-    case EmitFormat::kCsv:
-      return "csv";
-    case EmitFormat::kJson:
-      return "json";
-  }
-  return "?";
-}
-
 EmitFormat emit_format_from_env(EmitFormat fallback) {
-  const char* env = std::getenv("EAS_EMIT");
-  if (env == nullptr) return fallback;
-  const std::string_view v(env);
-  if (v == "table") return EmitFormat::kTable;
-  if (v == "csv") return EmitFormat::kCsv;
-  if (v == "json") return EmitFormat::kJson;
-  return fallback;
+  SinkConfig cfg;
+  cfg.format = fallback;
+  return SinkConfig::from_env(cfg).format;
 }
 
 ResultTable::ResultTable(std::string title, std::vector<std::string> columns)

@@ -13,16 +13,15 @@
 #include <string>
 #include <vector>
 
+#include "runner/sink_config.hpp"
 #include "runner/sweep.hpp"
 
 namespace eas::runner {
 
-enum class EmitFormat { kTable, kCsv, kJson };
-
-const char* to_string(EmitFormat f);
-
-/// EAS_EMIT=table|csv|json (defaults to `fallback`; unknown values fall
-/// back too so a typo cannot silently hide a figure).
+/// Compatibility wrapper over SinkConfig::from_env for harnesses that only
+/// need the format: EAS_EMIT=table|csv|json (defaults to `fallback`;
+/// unknown values fall back too so a typo cannot silently hide a figure).
+/// New code should build an OutputSink (runner/sinks.hpp) instead.
 EmitFormat emit_format_from_env(EmitFormat fallback = EmitFormat::kTable);
 
 /// A titled grid of cells that renders as an aligned table, CSV or JSON.

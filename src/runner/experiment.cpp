@@ -36,6 +36,14 @@ void ExperimentParams::validate() const {
   EAS_REQUIRE_MSG(cost.beta > 0.0, "cost beta must be positive");
   EAS_REQUIRE_MSG(mwis_horizon >= 1, "mwis horizon must be >= 1");
   fault.validate(num_disks);
+  obs.validate();
+  sink.validate();
+  EAS_REQUIRE_MSG(!sink.with_trace || obs.trace.enabled,
+                  "sink requests trace output but tracing is not enabled "
+                  "(use ExperimentBuilder::trace)");
+  EAS_REQUIRE_MSG(!sink.with_metrics || obs.metrics,
+                  "sink requests metrics output but metrics are not enabled "
+                  "(use ExperimentBuilder::metrics)");
 }
 
 ExperimentParams ExperimentBuilder::build() const {
@@ -85,6 +93,7 @@ storage::SystemConfig system_config_for(const ExperimentParams& p) {
   storage::SystemConfig cfg = paper_system_config();
   cfg.initial_state = p.initial_state;
   cfg.fault = p.fault;
+  cfg.obs = p.obs;
   return cfg;
 }
 

@@ -17,7 +17,9 @@
 #include "core/energy_model.hpp"
 #include "disk/disk.hpp"
 #include "fault/fault.hpp"
+#include "obs/obs.hpp"
 #include "placement/placement.hpp"
+#include "runner/sink_config.hpp"
 #include "storage/storage_system.hpp"
 #include "trace/trace.hpp"
 
@@ -65,9 +67,18 @@ struct ExperimentParams {
   /// cell; emitters add availability columns when any cell enables it.
   fault::FaultProfile fault{};
 
+  /// Observability (default: everything off — no recorder, no registry,
+  /// bit-identical results). Travels into SystemConfig like `fault`.
+  obs::ObsConfig obs{};
+
+  /// Output-sink selection for harnesses that render through make_sink().
+  /// validate() cross-checks it against `obs`: a sink cannot request trace
+  /// or metrics output the run is not configured to produce.
+  SinkConfig sink{};
+
   /// Throws InvariantError on out-of-range values (rf outside 1..num_disks,
   /// zipf_z outside [0,1], non-positive batch interval, invalid fault
-  /// profile, ...).
+  /// profile, sink/obs mismatches, ...).
   void validate() const;
 };
 
@@ -105,6 +116,21 @@ class ExperimentBuilder {
   }
   ExperimentBuilder& initial_state(disk::DiskState s) { p_.initial_state = s; return *this; }
   ExperimentBuilder& fault(fault::FaultProfile f) { p_.fault = std::move(f); return *this; }
+  /// Enables structured tracing with the given recorder configuration
+  /// (asking for a trace implies enabling it; pass categories/capacity as
+  /// needed). build() validates the config.
+  ExperimentBuilder& trace(obs::TraceConfig t) {
+    t.enabled = true;
+    p_.obs.trace = t;
+    return *this;
+  }
+  /// Enables (or disables) the per-run MetricRegistry.
+  ExperimentBuilder& metrics(bool on = true) { p_.obs.metrics = on; return *this; }
+  /// Selects the output sinks a harness should assemble via make_sink().
+  /// build() cross-checks against the obs configuration.
+  ExperimentBuilder& sink(SinkConfig s) { p_.sink = std::move(s); return *this; }
+  /// Convenience: primary format only.
+  ExperimentBuilder& sink(EmitFormat f) { p_.sink.format = f; return *this; }
   /// Convenience for the canonical degraded-mode experiment: fail-stop disk
   /// `disk` at `time`, replacement online after `repair` seconds (0 = never).
   ExperimentBuilder& fail_disk_at(DiskId disk, double time, double repair = 0.0) {

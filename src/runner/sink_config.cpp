@@ -1,0 +1,40 @@
+#include "runner/sink_config.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "util/check.hpp"
+
+namespace eas::runner {
+
+const char* to_string(EmitFormat f) {
+  switch (f) {
+    case EmitFormat::kTable:
+      return "table";
+    case EmitFormat::kCsv:
+      return "csv";
+    case EmitFormat::kJson:
+      return "json";
+  }
+  return "?";
+}
+
+void SinkConfig::validate() const {
+  EAS_REQUIRE_MSG(format == EmitFormat::kTable || format == EmitFormat::kCsv ||
+                      format == EmitFormat::kJson,
+                  "unknown emit format");
+  EAS_REQUIRE_MSG(trace_path.empty() || with_trace,
+                  "trace_path set but with_trace is off");
+}
+
+SinkConfig SinkConfig::from_env(SinkConfig fallback) {
+  const char* env = std::getenv("EAS_EMIT");
+  if (env == nullptr) return fallback;
+  const std::string_view v(env);
+  if (v == "table") fallback.format = EmitFormat::kTable;
+  if (v == "csv") fallback.format = EmitFormat::kCsv;
+  if (v == "json") fallback.format = EmitFormat::kJson;
+  return fallback;
+}
+
+}  // namespace eas::runner

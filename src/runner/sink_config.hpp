@@ -1,0 +1,41 @@
+// Output-sink selection: which renderers a harness feeds its results to.
+//
+// Kept in its own header (below emit.hpp and sweep.hpp in the include
+// graph) so ExperimentBuilder can carry a SinkConfig without dragging the
+// result-rendering machinery into every experiment translation unit.
+#pragma once
+
+#include <string>
+
+namespace eas::runner {
+
+/// The three table renderings. Schemas are golden-tested — changing them is
+/// a breaking change for downstream plotting scripts.
+enum class EmitFormat { kTable, kCsv, kJson };
+
+const char* to_string(EmitFormat f);
+
+/// What make_sink() should assemble. The primary format renders tables and
+/// sweep cells; the `with_*` flags append the observability sinks, which
+/// require the matching ObsConfig switches (ExperimentParams::validate
+/// cross-checks, so a sink can never ask for artifacts no run produced).
+struct SinkConfig {
+  EmitFormat format = EmitFormat::kTable;
+  /// Append a TraceSink: merged Chrome trace of every cell's recorder.
+  bool with_trace = false;
+  /// Append a MetricsSink: cell registries merged in index order.
+  bool with_metrics = false;
+  /// TraceSink destination file; empty writes into the main output stream.
+  std::string trace_path;
+
+  void validate() const;
+
+  /// Compatibility alias for the historical env switch: EAS_EMIT=
+  /// table|csv|json overrides `fallback.format` (unknown values keep the
+  /// fallback so a typo cannot silently hide a figure). The observability
+  /// flags have no env spelling — they are builder-only by design.
+  static SinkConfig from_env(SinkConfig fallback);
+  static SinkConfig from_env() { return from_env(SinkConfig{}); }
+};
+
+}  // namespace eas::runner

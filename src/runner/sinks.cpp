@@ -1,0 +1,98 @@
+#include "runner/sinks.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace eas::runner {
+
+void TableSink::table(const ResultTable& t) { t.emit(os_, EmitFormat::kTable); }
+void TableSink::cells(const std::vector<CellResult>& results) {
+  emit_cells(os_, results, EmitFormat::kTable);
+}
+
+void CsvSink::table(const ResultTable& t) { t.emit(os_, EmitFormat::kCsv); }
+void CsvSink::cells(const std::vector<CellResult>& results) {
+  emit_cells(os_, results, EmitFormat::kCsv);
+}
+
+void JsonSink::table(const ResultTable& t) { t.emit(os_, EmitFormat::kJson); }
+void JsonSink::cells(const std::vector<CellResult>& results) {
+  emit_cells(os_, results, EmitFormat::kJson);
+}
+
+void TraceSink::cells(const std::vector<CellResult>& results) {
+  std::ofstream file;
+  if (!path_.empty()) {
+    file.open(path_, std::ios::trunc);
+    EAS_REQUIRE_MSG(file.is_open(), "cannot open trace file " << path_);
+  }
+  std::ostream& out = path_.empty() ? os_ : file;
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (const CellResult& r : results) {
+    if (r.status != CellStatus::kOk || r.result.trace_recorder == nullptr) {
+      continue;
+    }
+    r.result.trace_recorder->append_chrome_events(
+        w, static_cast<int>(r.index), r.spec.tag + "/" + r.spec.scheduler,
+        r.result.horizon);
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+}
+
+void MetricsSink::cells(const std::vector<CellResult>& results) {
+  os_ << merged_metrics(results).to_json() << "\n";
+}
+
+void MultiSink::table(const ResultTable& t) {
+  for (auto& s : sinks_) s->table(t);
+}
+void MultiSink::cells(const std::vector<CellResult>& results) {
+  for (auto& s : sinks_) s->cells(results);
+}
+
+std::unique_ptr<OutputSink> make_sink(const SinkConfig& cfg,
+                                      std::ostream& os) {
+  cfg.validate();
+  std::unique_ptr<OutputSink> primary;
+  switch (cfg.format) {
+    case EmitFormat::kTable:
+      primary = std::make_unique<TableSink>(os);
+      break;
+    case EmitFormat::kCsv:
+      primary = std::make_unique<CsvSink>(os);
+      break;
+    case EmitFormat::kJson:
+      primary = std::make_unique<JsonSink>(os);
+      break;
+  }
+  if (!cfg.with_trace && !cfg.with_metrics) return primary;
+  std::vector<std::unique_ptr<OutputSink>> sinks;
+  sinks.push_back(std::move(primary));
+  if (cfg.with_trace) {
+    sinks.push_back(std::make_unique<TraceSink>(os, cfg.trace_path));
+  }
+  if (cfg.with_metrics) {
+    sinks.push_back(std::make_unique<MetricsSink>(os));
+  }
+  return std::make_unique<MultiSink>(std::move(sinks));
+}
+
+obs::MetricRegistry merged_metrics(const std::vector<CellResult>& results) {
+  obs::MetricRegistry merged;
+  for (const CellResult& r : results) {
+    if (r.status != CellStatus::kOk || r.result.metrics == nullptr) continue;
+    merged.merge(*r.result.metrics);
+  }
+  return merged;
+}
+
+}  // namespace eas::runner

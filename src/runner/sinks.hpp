@@ -1,0 +1,127 @@
+// Composable output sinks: where experiment results go.
+//
+// The historical design was a pair of free functions (ResultTable::emit,
+// emit_cells) steered by the EAS_EMIT env var. Sinks invert that: a harness
+// builds one OutputSink from a SinkConfig (typically via ExperimentBuilder)
+// and hands every artifact to it. The table/CSV/JSON sinks delegate to the
+// exact renderers the free functions used, so their output is byte-identical
+// to the historical schemas (golden-tested); trace and metrics exporters are
+// just two more sinks riding the same deterministic sweep results.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "runner/emit.hpp"
+#include "runner/sink_config.hpp"
+#include "runner/sweep.hpp"
+
+namespace eas::runner {
+
+/// One destination for experiment output. Implementations must be
+/// deterministic: same results in, same bytes out, regardless of thread
+/// count or environment.
+class OutputSink {
+ public:
+  virtual ~OutputSink() = default;
+  virtual const char* name() const = 0;
+  /// A titled figure table (the benches' per-figure series).
+  virtual void table(const ResultTable& t) = 0;
+  /// A sweep's raw per-cell results.
+  virtual void cells(const std::vector<CellResult>& results) = 0;
+};
+
+/// Aligned text tables — the rendering the paper-comparison docs quote.
+class TableSink final : public OutputSink {
+ public:
+  explicit TableSink(std::ostream& os) : os_(os) {}
+  const char* name() const override { return "table"; }
+  void table(const ResultTable& t) override;
+  void cells(const std::vector<CellResult>& results) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// RFC 4180 CSV for spreadsheet/plotting pipelines.
+class CsvSink final : public OutputSink {
+ public:
+  explicit CsvSink(std::ostream& os) : os_(os) {}
+  const char* name() const override { return "csv"; }
+  void table(const ResultTable& t) override;
+  void cells(const std::vector<CellResult>& results) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Schema-stable JSON for programmatic consumers.
+class JsonSink final : public OutputSink {
+ public:
+  explicit JsonSink(std::ostream& os) : os_(os) {}
+  const char* name() const override { return "json"; }
+  void table(const ResultTable& t) override;
+  void cells(const std::vector<CellResult>& results) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Chrome trace-event export: merges every OK cell's TraceRecorder into one
+/// Perfetto-loadable document, one "process" per cell (pid = cell index,
+/// named "<tag>/<scheduler>"). Cells that recorded nothing are skipped.
+/// Writes to `path` when non-empty, else to the fallback stream. Ignores
+/// table() — figure tables carry no trace.
+class TraceSink final : public OutputSink {
+ public:
+  TraceSink(std::ostream& fallback, std::string path)
+      : os_(fallback), path_(std::move(path)) {}
+  const char* name() const override { return "trace"; }
+  void table(const ResultTable&) override {}
+  void cells(const std::vector<CellResult>& results) override;
+
+ private:
+  std::ostream& os_;
+  std::string path_;
+};
+
+/// Metrics export: merges every OK cell's MetricRegistry in cell-index
+/// order (deterministic regardless of EAS_THREADS) and emits the combined
+/// registry's JSON as one line. Ignores table().
+class MetricsSink final : public OutputSink {
+ public:
+  explicit MetricsSink(std::ostream& os) : os_(os) {}
+  const char* name() const override { return "metrics"; }
+  void table(const ResultTable&) override {}
+  void cells(const std::vector<CellResult>& results) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Fan-out to several sinks in order (primary format first, then trace /
+/// metrics appenders — the order make_sink assembles).
+class MultiSink final : public OutputSink {
+ public:
+  explicit MultiSink(std::vector<std::unique_ptr<OutputSink>> sinks)
+      : sinks_(std::move(sinks)) {}
+  const char* name() const override { return "multi"; }
+  void table(const ResultTable& t) override;
+  void cells(const std::vector<CellResult>& results) override;
+
+ private:
+  std::vector<std::unique_ptr<OutputSink>> sinks_;
+};
+
+/// Assembles the sink a SinkConfig describes, writing to `os`. Returns the
+/// primary format sink alone when no observability sinks are requested,
+/// otherwise a MultiSink in (format, trace, metrics) order.
+std::unique_ptr<OutputSink> make_sink(const SinkConfig& cfg, std::ostream& os);
+
+/// All OK cells' registries folded in cell-index order. Cells without
+/// metrics contribute nothing; an all-off sweep yields an empty registry.
+obs::MetricRegistry merged_metrics(const std::vector<CellResult>& results);
+
+}  // namespace eas::runner

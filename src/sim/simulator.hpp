@@ -40,6 +40,10 @@
 #include "sim/inline_callback.hpp"
 #include "util/check.hpp"
 
+namespace eas::obs {
+class TraceRecorder;
+}
+
 namespace eas::sim {
 
 /// Simulated time in seconds. Double gives ~microsecond resolution over the
@@ -161,6 +165,15 @@ class Simulator {
 
   /// Total events fired over the simulator's lifetime.
   std::uint64_t events_fired() const { return fired_; }
+
+  /// Optional trace recorder shared by every component on this timeline.
+  /// The simulator itself never records — it just carries the pointer so
+  /// components that already hold the sim (disks, policies, the storage
+  /// system) reach observability without new plumbing. Null when tracing is
+  /// off; instrumentation sites go through EAS_OBS, which branches on that.
+  /// Non-owning: the storage system owns the recorder and outlives the runs.
+  obs::TraceRecorder* recorder() const { return recorder_; }
+  void set_recorder(obs::TraceRecorder* r) { recorder_ = r; }
 
  private:
   static constexpr std::uint32_t kNullIndex =
@@ -338,6 +351,7 @@ class Simulator {
   /// O(1) and const even with staged entries.
   std::uint32_t heaped_ = 0;
   std::uint64_t staged_min_bits_ = kNoPendingBits;
+  obs::TraceRecorder* recorder_ = nullptr;
 };
 
 }  // namespace eas::sim

@@ -31,6 +31,17 @@ void Histogram::add(double value, std::uint64_t count) {
   total_ += count;
 }
 
+Histogram& Histogram::operator+=(const Histogram& other) {
+  EAS_REQUIRE_MSG(log_min_ == other.log_min_ && log_step_ == other.log_step_ &&
+                      counts_.size() == other.counts_.size(),
+                  "histogram merge requires identical binning");
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  total_ += other.total_;
+  return *this;
+}
+
 double Histogram::bin_lower(std::size_t bin) const {
   EAS_REQUIRE(bin < counts_.size());
   return std::pow(10.0, log_min_ + log_step_ * static_cast<double>(bin));

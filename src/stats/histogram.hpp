@@ -22,6 +22,11 @@ class Histogram {
 
   void add(double value, std::uint64_t count = 1);
 
+  /// Bin-wise merge. Requires identical binning (same min/max/resolution);
+  /// throws InvariantError otherwise — silently re-binning would corrupt
+  /// quantile estimates.
+  Histogram& operator+=(const Histogram& other);
+
   std::uint64_t total_count() const { return total_; }
   std::size_t num_bins() const { return counts_.size(); }
   std::uint64_t bin_count(std::size_t bin) const { return counts_[bin]; }

@@ -58,6 +58,13 @@ void SampleStore::add(double x) {
   sorted_valid_ = false;
 }
 
+SampleStore& SampleStore::operator+=(const SampleStore& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_valid_ = samples_.empty();
+  return *this;
+}
+
 double SampleStore::mean() const {
   if (samples_.empty()) return 0.0;
   double acc = 0.0;

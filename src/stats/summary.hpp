@@ -16,6 +16,12 @@ class SummaryStats {
  public:
   void add(double x);
   void merge(const SummaryStats& other);
+  /// Merge as an operator, so per-worker metric shards combine with the
+  /// same spelling as counters: `total += shard;`.
+  SummaryStats& operator+=(const SummaryStats& other) {
+    merge(other);
+    return *this;
+  }
 
   std::size_t count() const { return n_; }
   double mean() const;
@@ -41,6 +47,9 @@ class SampleStore {
  public:
   void add(double x);
   void reserve(std::size_t n) { samples_.reserve(n); }
+  /// Appends the other store's samples in their insertion order (so merging
+  /// shards in a fixed order keeps mean() bit-reproducible).
+  SampleStore& operator+=(const SampleStore& other);
 
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }

@@ -144,6 +144,32 @@ class System final : public core::SystemView {
       : config_(config), placement_(placement), policy_(policy) {
     config_.power.validate();
     config_.perf.validate();
+    config_.obs.validate();
+    if (config_.obs.trace.enabled) {
+      recorder_ = std::make_shared<obs::TraceRecorder>(config_.obs.trace);
+      sim_.set_recorder(recorder_.get());
+    }
+    if (config_.obs.metrics) {
+      metrics_ = std::make_shared<obs::MetricRegistry>();
+      // Registered up front in one fixed order so the registry's JSON (and
+      // any merge across sweep cells) is schema-stable.
+      m_completed_ = metrics_->counter("requests_completed");
+      m_waited_ = metrics_->counter("requests_waited_spinup");
+      m_failovers_ = metrics_->counter("failovers");
+      m_unavailable_ = metrics_->counter("unavailable_requests");
+      m_batches_ = metrics_->counter("batches_formed");
+      m_batch_size_ = metrics_->summary("batch_size");
+      m_queue_depth_ = metrics_->summary("queue_depth");
+      m_response_ = metrics_->histogram("response_seconds", 1e-4, 100.0, 10);
+      metrics_->counter("spin_ups");
+      metrics_->counter("spin_downs");
+      metrics_->gauge("total_energy_joules");
+      metrics_->gauge("energy_per_request_joules");
+      for (int s = 0; s < disk::kNumDiskStates; ++s) {
+        metrics_->summary(std::string("disk_seconds_") +
+                          disk::to_string(static_cast<disk::DiskState>(s)));
+      }
+    }
     disks_.reserve(placement.num_disks());
     disk_ptrs_.reserve(placement.num_disks());
     for (DiskId k = 0; k < placement.num_disks(); ++k) {
@@ -164,6 +190,8 @@ class System final : public core::SystemView {
             on_disk_down(k, kind);
           });
       injector_->set_on_disk_back([this](DiskId k, bool needs_rebuild) {
+        EAS_OBS(sim_.recorder(),
+                record(sim_.now(), obs::Ev::kDiskBack, k, needs_rebuild));
         if (needs_rebuild) start_rebuild(k);
       });
       injector_->set_on_blocks_lost(
@@ -195,6 +223,24 @@ class System final : public core::SystemView {
   sim::Simulator& simulator() { return sim_; }
   const std::vector<disk::Disk*>& disk_ptrs() const { return disk_ptrs_; }
 
+  /// Called by the run_* drivers when a request enters the system (before
+  /// any scheduling decision).
+  void note_arrival(const disk::Request& r) {
+    EAS_OBS(sim_.recorder(),
+            request_event(sim_.now(), obs::Ev::kArrive, r.id, r.data));
+  }
+
+  /// Called by the batch driver each time a non-empty batch is assigned.
+  void note_batch(std::size_t size) {
+    EAS_OBS(sim_.recorder(),
+            batch_formed(sim_.now(), batch_seq_, size));
+    ++batch_seq_;
+    if (metrics_ != nullptr) {
+      ++*m_batches_;
+      m_batch_size_->add(static_cast<double>(size));
+    }
+  }
+
   /// `horizon` bounds fault injection (typically trace.end_time()): no
   /// failure or repair event is scheduled past it, so the run terminates.
   void start(double horizon) {
@@ -215,7 +261,7 @@ class System final : public core::SystemView {
     }
     if (k != kInvalidDisk && !view_->replica_readable(r.data, k)) {
       const DiskId alt = view_->first_live(placement_, r.data);
-      if (alt != kInvalidDisk) ++stats().failovers;
+      if (alt != kInvalidDisk) note_failover();
       k = alt;
     } else if (k != kInvalidDisk && view_->degraded()) {
       // The degraded-aware schedulers route around dead replicas before the
@@ -223,13 +269,13 @@ class System final : public core::SystemView {
       // served from a fault-shrunk candidate set.
       for (const DiskId loc : placement_.locations(r.data)) {
         if (!view_->replica_readable(r.data, loc)) {
-          ++stats().failovers;
+          note_failover();
           break;
         }
       }
     }
     if (k == kInvalidDisk) {
-      ++stats().unavailable_requests;
+      note_unavailable();
       return;
     }
     EAS_AUDIT_MSG(view_->replica_readable(r.data, k),
@@ -258,8 +304,14 @@ class System final : public core::SystemView {
     EAS_REQUIRE_MSG(view_ == nullptr || view_->accepts_io(k),
                     "dispatch to failed disk " << k);
     r.dispatch_time = sim_.now();
+    EAS_OBS(sim_.recorder(),
+            request_event(sim_.now(), obs::Ev::kDispatch, r.id, k));
     policy_.on_disk_activity(sim_, *disks_[k]);
     disks_[k]->submit(r);
+    // Depth including the new request: the backlog this dispatch joined.
+    if (m_queue_depth_ != nullptr) {
+      m_queue_depth_->add(static_cast<double>(disks_[k]->queued_requests()));
+    }
   }
 
   /// Drains the event queue, finalizes accounting, and harvests the result.
@@ -285,6 +337,33 @@ class System final : public core::SystemView {
       r.faults_enabled = true;
       r.fault_stats = injector_->stats();
     }
+    if (metrics_ != nullptr) {
+      // End-of-run aggregates: per-disk state-time summaries and the energy
+      // gauges. Disks are folded in id order, so the Welford state is a pure
+      // function of the run.
+      std::uint64_t ups = 0;
+      std::uint64_t downs = 0;
+      for (int s = 0; s < disk::kNumDiskStates; ++s) {
+        stats::SummaryStats* per_state = metrics_->summary(
+            std::string("disk_seconds_") +
+            disk::to_string(static_cast<disk::DiskState>(s)));
+        for (const auto& ds : r.disk_stats) {
+          per_state->add(ds.seconds_in_state[s]);
+        }
+      }
+      for (const auto& ds : r.disk_stats) {
+        ups += ds.spin_ups;
+        downs += ds.spin_downs;
+      }
+      *metrics_->counter("spin_ups") = ups;
+      *metrics_->counter("spin_downs") = downs;
+      *metrics_->gauge("total_energy_joules") = r.total_energy();
+      *metrics_->gauge("energy_per_request_joules") =
+          completed_ > 0 ? r.total_energy() / static_cast<double>(completed_)
+                         : 0.0;
+    }
+    r.trace_recorder = recorder_;
+    r.metrics = metrics_;
     return r;
   }
 
@@ -313,6 +392,15 @@ class System final : public core::SystemView {
 
   fault::FaultStats& stats() { return injector_->stats(); }
 
+  void note_failover() {
+    ++stats().failovers;
+    if (m_failovers_ != nullptr) ++*m_failovers_;
+  }
+  void note_unavailable() {
+    ++stats().unavailable_requests;
+    if (m_unavailable_ != nullptr) ++*m_unavailable_;
+  }
+
   void on_completion(const disk::Completion& c) {
     last_completion_ = std::max(last_completion_, c.completion_time);
     if (c.request.internal) {
@@ -322,11 +410,19 @@ class System final : public core::SystemView {
     ++completed_;
     if (c.waited_for_spinup) ++waited_spinup_;
     responses_.add(c.response_seconds());
+    EAS_OBS(sim_.recorder(), request_event(sim_.now(), obs::Ev::kComplete,
+                                           c.request.id, c.disk));
+    if (metrics_ != nullptr) {
+      ++*m_completed_;
+      if (c.waited_for_spinup) ++*m_waited_;
+      m_response_->add(c.response_seconds());
+    }
   }
 
   /// Fail-stop/transient handler: abort any rebuild targeting the disk,
   /// drain its queue, and fail the drained work over to live replicas.
   void on_disk_down(DiskId k, fault::ScriptedFault::Kind /*kind*/) {
+    EAS_OBS(sim_.recorder(), record(sim_.now(), obs::Ev::kDiskDown, k));
     if (auto it = rebuilds_.find(k); it != rebuilds_.end()) {
       // The disk being repaired died again (scrub target): abort. Items not
       // yet restored stay in the lost set; a later full rebuild covers them.
@@ -349,9 +445,9 @@ class System final : public core::SystemView {
       }
       const DiskId alt = view_->first_live(placement_, r.data);
       if (alt == kInvalidDisk) {
-        ++stats().unavailable_requests;
+        note_unavailable();
       } else {
-        ++stats().failovers;
+        note_failover();
         dispatch(r, alt);  // arrival_time kept: failover delay is visible
       }
     }
@@ -418,6 +514,8 @@ class System final : public core::SystemView {
       rr.arrival_time = sim_.now();
       rr.internal = true;
       st.writing = false;
+      EAS_OBS(sim_.recorder(), rebuild_event(sim_.now(), obs::Ev::kRebuildRead,
+                                             target, b, src));
       dispatch(rr, src);
       return;
     }
@@ -440,6 +538,9 @@ class System final : public core::SystemView {
       st.writing = true;
       disk::Request w = c.request;
       w.arrival_time = sim_.now();
+      EAS_OBS(sim_.recorder(),
+              rebuild_event(sim_.now(), obs::Ev::kRebuildWrite, target,
+                            c.request.data));
       dispatch(w, target);
       return;
     }
@@ -455,6 +556,8 @@ class System final : public core::SystemView {
 
   void finish_rebuild(DiskId target, bool scrub) {
     const double t = sim_.now();
+    EAS_OBS(sim_.recorder(),
+            rebuild_event(t, obs::Ev::kRebuildDone, target, 0, scrub));
     rebuilds_.erase(target);
     ++stats().rebuilds_completed;
     view_->set_rebuild_pin(t, target, false);
@@ -485,6 +588,23 @@ class System final : public core::SystemView {
   std::uint64_t completed_ = 0;
   std::uint64_t waited_spinup_ = 0;
   double last_completion_ = 0.0;
+
+  /// Observability artifacts; null when the config leaves them off. The
+  /// recorder is owned here (the simulator only borrows a raw pointer) and
+  /// handed to the RunResult at finish() so sinks can export it.
+  std::shared_ptr<obs::TraceRecorder> recorder_;
+  std::shared_ptr<obs::MetricRegistry> metrics_;
+  std::uint64_t batch_seq_ = 0;
+  /// Cached registry slots (registration returns stable pointers), so hot
+  /// paths never do a name lookup. All null when metrics are off.
+  std::uint64_t* m_completed_ = nullptr;
+  std::uint64_t* m_waited_ = nullptr;
+  std::uint64_t* m_failovers_ = nullptr;
+  std::uint64_t* m_unavailable_ = nullptr;
+  std::uint64_t* m_batches_ = nullptr;
+  stats::SummaryStats* m_batch_size_ = nullptr;
+  stats::SummaryStats* m_queue_depth_ = nullptr;
+  stats::Histogram* m_response_ = nullptr;
 };
 
 disk::Request make_request(RequestId id, const trace::TraceRecord& rec) {
@@ -508,6 +628,7 @@ RunResult run_online(const SystemConfig& config,
   for (std::size_t i = 0; i < trace.size(); ++i) {
     sim.schedule_at(trace[i].time, [&system, &sched, &trace, i] {
       const disk::Request r = make_request(i, trace[i]);
+      system.note_arrival(r);
       system.route(r, sched.pick(r, system));
     });
   }
@@ -530,8 +651,9 @@ RunResult run_batch(const SystemConfig& config,
   auto pending = std::make_shared<std::vector<disk::Request>>();
   auto remaining = std::make_shared<std::size_t>(trace.size());
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    sim.schedule_at(trace[i].time, [pending, remaining, &trace, i] {
+    sim.schedule_at(trace[i].time, [pending, remaining, &system, &trace, i] {
       pending->push_back(make_request(i, trace[i]));
+      system.note_arrival(pending->back());
       --*remaining;
     });
   }
@@ -548,6 +670,7 @@ RunResult run_batch(const SystemConfig& config,
     if (!pending->empty()) {
       std::vector<disk::Request> batch;
       batch.swap(*pending);
+      system.note_batch(batch.size());
       const std::vector<DiskId> assignment = sched.assign(batch, system);
       EAS_ENSURE_MSG(assignment.size() == batch.size(),
                     "batch scheduler returned " << assignment.size()
@@ -582,7 +705,9 @@ RunResult run_offline(const SystemConfig& config,
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const DiskId k = assignment.disk_of_request[i];
     sim.schedule_at(trace[i].time, [&system, &trace, i, k] {
-      system.route(make_request(i, trace[i]), k);
+      const disk::Request r = make_request(i, trace[i]);
+      system.note_arrival(r);
+      system.route(r, k);
     });
   }
   system.start(trace.end_time());
@@ -615,6 +740,7 @@ RunResult run_online_mixed(const SystemConfig& config,
   for (std::size_t i = 0; i < trace.size(); ++i) {
     sim.schedule_at(trace[i].time, [&system, &sched, &offloader, &trace, i] {
       const disk::Request r = make_request(i, trace[i]);
+      system.note_arrival(r);
       if (!trace[i].is_read) {
         system.dispatch_unchecked(r, offloader.route_write(r, system));
         return;

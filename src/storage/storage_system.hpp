@@ -12,6 +12,7 @@
 #include "disk/disk.hpp"
 #include "fault/fault.hpp"
 #include "fault/injector.hpp"
+#include "obs/obs.hpp"
 #include "placement/placement.hpp"
 #include "power/policy.hpp"
 #include "sim/simulator.hpp"
@@ -31,6 +32,10 @@ struct SystemConfig {
   /// path dormant: no FailureView exists and results are bit-identical to
   /// builds without the subsystem.
   fault::FaultProfile fault{};
+  /// Observability. Default-constructed (disabled) means no recorder or
+  /// registry exists: every instrumentation site reduces to one null-pointer
+  /// branch and results are bit-identical to pre-observability builds.
+  obs::ObsConfig obs{};
 };
 
 /// Everything a run produces; the figures are all derived from this.
@@ -47,6 +52,11 @@ struct RunResult {
   /// fault-free output is byte-identical to the pre-fault schema.
   bool faults_enabled = false;
   fault::FaultStats fault_stats{};
+  /// Present only when the run's ObsConfig asked for them; to_json() does
+  /// not serialize either (the trace/metrics sinks own those formats), so
+  /// the result schema is untouched by observability.
+  std::shared_ptr<const obs::TraceRecorder> trace_recorder;
+  std::shared_ptr<const obs::MetricRegistry> metrics;
 
   double total_energy() const;
   std::uint64_t total_spin_ups() const;

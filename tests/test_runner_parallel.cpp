@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 
 #include "core/basic_schedulers.hpp"
@@ -14,6 +15,7 @@
 #include "core/mwis_scheduler.hpp"
 #include "core/wsc_scheduler.hpp"
 #include "power/fixed_threshold.hpp"
+#include "runner/sinks.hpp"
 #include "runner/sweep.hpp"
 #include "util/check.hpp"
 
@@ -370,6 +372,71 @@ TEST(ExperimentBuilder, ValidatesOnBuild) {
                      .build();
   EXPECT_EQ(p.workload, runner::Workload::kFinancial);
   EXPECT_EQ(p.replication_factor, 5u);
+}
+
+// --- merged metrics determinism ---------------------------------------------
+//
+// Each cell owns a thread-confined MetricRegistry; merged_metrics folds them
+// in cell-index order after the sweep. The combined JSON must therefore be
+// bit-identical no matter how many workers executed the grid.
+TEST(SweepRunnerParallel, MergedMetricsAreIdenticalAcrossThreadCounts) {
+  const auto base = runner::ExperimentBuilder(runner::Workload::kCello)
+                        .requests(kRequests)
+                        .metrics()
+                        .build();
+  const auto grid = [&] {
+    return runner::product_grid(
+        base, {"static", "heuristic", "wsc"}, {"1", "3"},
+        [](const runner::ExperimentParams& b, const std::string& tag) {
+          return runner::ExperimentBuilder(b)
+              .replication(static_cast<unsigned>(std::stoul(tag)))
+              .build();
+        });
+  };
+
+  std::string reference;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    runner::SweepOptions opts;
+    opts.threads = threads;
+    const auto results = runner::SweepRunner(opts).run(grid());
+    for (const auto& cell : results) {
+      ASSERT_EQ(cell.status, runner::CellStatus::kOk);
+      ASSERT_NE(cell.result.metrics, nullptr);
+      EXPECT_EQ(cell.result.trace_recorder, nullptr);  // tracing not requested
+    }
+    const std::string json = runner::merged_metrics(results).to_json();
+    if (reference.empty()) {
+      reference = json;
+      // The fold saw every cell: six cells of kRequests completions each.
+      std::ostringstream expect_completed;
+      expect_completed << "\"requests_completed\":{\"kind\":\"counter\","
+                       << "\"value\":" << 6 * kRequests << "}";
+      EXPECT_NE(json.find(expect_completed.str()), std::string::npos) << json;
+    } else {
+      EXPECT_EQ(json, reference) << threads << " threads";
+    }
+  }
+}
+
+TEST(ExperimentBuilderObs, CrossChecksSinkAgainstObsConfig) {
+  // A sink that asks for artifacts the run won't produce is a build error...
+  runner::SinkConfig wants_trace;
+  wants_trace.with_trace = true;
+  EXPECT_THROW(runner::ExperimentBuilder().sink(wants_trace).build(),
+               InvariantError);
+  runner::SinkConfig wants_metrics;
+  wants_metrics.with_metrics = true;
+  EXPECT_THROW(runner::ExperimentBuilder().sink(wants_metrics).build(),
+               InvariantError);
+  // ...and enabling the matching producers makes the same config valid.
+  const auto p = runner::ExperimentBuilder()
+                     .trace({.capacity = 1u << 10})
+                     .metrics()
+                     .sink(wants_trace)
+                     .build();
+  EXPECT_TRUE(p.obs.trace.enabled);
+  EXPECT_TRUE(p.obs.metrics);
+  EXPECT_TRUE(p.sink.with_trace);
 }
 
 TEST(WorkloadNames, RoundTripThroughTheCanonicalTable) {

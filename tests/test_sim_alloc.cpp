@@ -14,6 +14,7 @@
 #include <new>
 #include <vector>
 
+#include "obs/trace_recorder.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -87,6 +88,51 @@ TEST(SimulatorAllocation, SteadyStateScheduleCancelIsAllocationFree) {
   });
   EXPECT_EQ(n, 0u) << "schedule/cancel cycles allocated";
   EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST(SimulatorAllocation, TracingCompiledInButOffAddsNoAllocations) {
+  // The observability hooks ride the simulator as a nullable pointer; with
+  // no recorder attached (the default) every EAS_OBS site is one untaken
+  // branch and the steady-state zero-allocation promise must hold verbatim.
+  Simulator sim;
+  ASSERT_EQ(sim.recorder(), nullptr);
+  double acc = 0.0;
+  for (int i = 0; i < 512; ++i) {
+    sim.schedule_in(1e-3 * (i % 64), [&acc, i] { acc += i; });
+  }
+  sim.run();
+
+  const std::uint64_t n = allocations_during([&] {
+    for (int round = 0; round < 100; ++round) {
+      for (int i = 0; i < 512; ++i) {
+        sim.schedule_in(1e-3 * (i % 64), [&acc, i] { acc += i; });
+      }
+      sim.run();
+    }
+  });
+  EXPECT_EQ(n, 0u) << "tracing-off schedule/fire cycles allocated";
+}
+
+TEST(SimulatorAllocation, RecordingIntoAWarmRingIsAllocationFree) {
+  // With tracing *on*, the ring is preallocated at construction; recording
+  // through the EAS_OBS macro must never touch the heap, even after the
+  // ring wraps.
+  obs::TraceRecorder rec({.enabled = true, .capacity = 256});
+  Simulator sim;
+  sim.set_recorder(&rec);
+
+  const std::uint64_t n = allocations_during([&] {
+    for (int i = 0; i < 4096; ++i) {
+      EAS_OBS(sim.recorder(),
+              record(1e-3 * i, obs::Ev::kQueue,
+                     static_cast<std::uint64_t>(i), 3, 7));
+    }
+  });
+  EXPECT_EQ(n, 0u) << "warm-ring recording allocated";
+#if !defined(EASCHED_NO_OBS)
+  EXPECT_EQ(rec.recorded(), 4096u);
+  EXPECT_EQ(rec.dropped(), 4096u - 256u);
+#endif
 }
 
 TEST(SimulatorAllocation, OversizedCallbacksStillWorkButMayAllocate) {

@@ -167,5 +167,84 @@ TEST(Histogram, EmptyQuantileThrows) {
   EXPECT_THROW(h.quantile_estimate(0.5), InvariantError);
 }
 
+// --- shard merging (operator+=) ---------------------------------------------
+//
+// The metric registry folds per-cell shards with `total += shard` in a fixed
+// order; these pins keep that fold equivalent to having streamed every
+// sample into one accumulator.
+
+TEST(ShardMerge, SummaryStatsFoldMatchesSingleStream) {
+  const std::vector<double> xs = {3.0, 1.0, 4.0, 1.5, 9.0, 2.5, 6.0};
+  SummaryStats whole;
+  for (double x : xs) whole.add(x);
+
+  SummaryStats left, right, folded;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < 3 ? left : right).add(xs[i]);
+  }
+  folded += left;
+  folded += right;
+  EXPECT_EQ(folded.count(), whole.count());
+  EXPECT_DOUBLE_EQ(folded.mean(), whole.mean());
+  EXPECT_DOUBLE_EQ(folded.min(), whole.min());
+  EXPECT_DOUBLE_EQ(folded.max(), whole.max());
+  EXPECT_NEAR(folded.variance(), whole.variance(), 1e-12);
+
+  // Folding an empty shard (a cell that saw no samples) is a no-op.
+  folded += SummaryStats{};
+  EXPECT_EQ(folded.count(), whole.count());
+  EXPECT_DOUBLE_EQ(folded.mean(), whole.mean());
+}
+
+TEST(ShardMerge, SampleStoreAppendsInInsertionOrder) {
+  SampleStore a, b;
+  a.add(3.0);
+  a.add(1.0);
+  b.add(2.0);
+  b.add(0.5);
+  a += b;
+  ASSERT_EQ(a.count(), 4u);
+  // Insertion order is preserved (mean sums in that order, so a fixed merge
+  // order gives a bit-reproducible mean)...
+  EXPECT_DOUBLE_EQ(a.mean(), (3.0 + 1.0 + 2.0 + 0.5) / 4.0);
+  // ...and the sort cache is rebuilt, not stale.
+  const auto& sorted = a.sorted();
+  EXPECT_EQ(sorted, (std::vector<double>{0.5, 1.0, 2.0, 3.0}));
+}
+
+TEST(ShardMerge, SampleStoreMergeAfterSortedQueryStaysCorrect) {
+  SampleStore a, b;
+  a.add(2.0);
+  EXPECT_DOUBLE_EQ(a.median(), 2.0);  // materializes the sort cache
+  b.add(1.0);
+  a += b;
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.median(), 1.5);
+}
+
+TEST(ShardMerge, HistogramFoldIsBinWise) {
+  Histogram a(1e-3, 10.0, 10);
+  Histogram b(1e-3, 10.0, 10);
+  a.add(0.01);
+  a.add(0.5);
+  b.add(0.01, 3);
+  a += b;
+  EXPECT_EQ(a.total_count(), 5u);
+  Histogram whole(1e-3, 10.0, 10);
+  whole.add(0.01, 4);
+  whole.add(0.5);
+  for (std::size_t i = 0; i < a.num_bins(); ++i) {
+    EXPECT_EQ(a.bin_count(i), whole.bin_count(i)) << "bin " << i;
+  }
+}
+
+TEST(ShardMerge, HistogramRejectsMismatchedBinning) {
+  Histogram a(1e-3, 10.0, 10);
+  Histogram coarser(1e-3, 10.0, 5);
+  Histogram shifted(1e-2, 10.0, 10);
+  EXPECT_THROW(a += coarser, InvariantError);
+  EXPECT_THROW(a += shifted, InvariantError);
+}
+
 }  // namespace
 }  // namespace eas::stats

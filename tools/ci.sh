@@ -5,6 +5,8 @@
 #   2. default build + full test suite, warnings fatal
 #   3. fault smoke (fault-smoke label + the availability ablation end to
 #      end: the degraded-mode surface on its own, attributable stage)
+#   3b. obs smoke (obs-smoke label + the allocation-counting binary: the
+#      tracing/metrics surface and its zero-overhead-when-off proof)
 #   4. audit build (EASCHED_AUDIT=ON): every EAS_ASSERT/EAS_AUDIT compiled
 #      into the release binary, full suite again
 #   5. ASan+UBSan smoke (sanitize-smoke preset, reduced request counts)
@@ -74,6 +76,16 @@ stage_fault() {
   EAS_REQUESTS=3000 ./build/bench/bench_ablation_fault_availability > /dev/null
 }
 
+# Observability surface on its own label: recorder/metrics/sink goldens and
+# the paper-example trace replay, plus the allocation-counting binary that
+# proves tracing (compiled in but off) adds nothing to the kernel hot path.
+stage_obs() {
+  cmake --preset default
+  cmake --build --preset default -j "$jobs"
+  ctest --preset obs-smoke -j "$jobs"
+  ./build/tests/test_sim_alloc > /dev/null
+}
+
 stage_lint() {
   if ! command -v clang-tidy > /dev/null 2>&1; then
     echo "clang-tidy not installed; skipping lint stage"
@@ -86,6 +98,7 @@ stage_lint() {
 run_stage determinism stage_determinism
 run_stage default stage_default
 run_stage fault stage_fault
+run_stage obs stage_obs
 run_stage audit stage_audit
 run_stage asan stage_asan
 run_stage tsan stage_tsan

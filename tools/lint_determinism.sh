@@ -79,6 +79,21 @@ if [[ -n "$fault_files" ]]; then
     "$hits"
 fi
 
+# The observability layer records *simulated* time only: every TraceEvent
+# timestamp is passed in by the caller from sim::Simulator::now(), which is
+# what makes a recorded trace bit-reproducible across reruns and thread
+# counts. Any wall-clock read in src/obs/ would silently break that, so
+# <chrono> and the OS clock syscalls are banned there outright (no
+# reporting exemption — obs has nothing legitimate to time).
+obs_files=$(find src/obs -name '*.cpp' -o -name '*.hpp' 2>/dev/null)
+if [[ -n "$obs_files" ]]; then
+  # shellcheck disable=SC2086
+  hits=$(grep -nE '#include[[:space:]]*<chrono>|std::chrono|steady_clock|system_clock|high_resolution_clock|gettimeofday|clock_gettime|time\(' \
+    $obs_files 2>/dev/null | grep -v 'det-ok:')
+  report "wall-clock read in src/obs/ is banned — trace time is the simulated clock" \
+    "$hits"
+fi
+
 # Unordered-container iteration inside decision modules: any range-for whose
 # range expression names an unordered container, in the modules that make
 # scheduling/power/placement decisions. The fault module decides failure
