@@ -132,6 +132,11 @@ std::size_t Disk::next_to_serve() const {
 }
 
 void Disk::submit(const Request& r) {
+  // A zero-byte request would give the service-time model nothing to do and
+  // silently skew per-request metrics; rejecting it here keeps every queue
+  // entry meaningful.
+  EAS_REQUIRE_MSG(r.size_bytes > 0,
+                  "zero-size request " << r.id << " submitted to disk " << id_);
   last_request_time_ = sim_.now();
   // A request submitted while the platters are not spinning will have waited
   // on a power transition by the time it is serviced.

@@ -109,7 +109,10 @@ void FailureView::set_health(double now, DiskId k, DiskHealth h) {
 
 void FailureView::set_rebuild_pin(double now, DiskId k, bool pinned) {
   (void)now;
-  pinned_.at(k) = pinned ? 1 : 0;
+  EAS_REQUIRE_MSG(k < num_disks(),
+                  "rebuild pin for unknown disk " << k << " (fleet size "
+                                                  << num_disks() << ")");
+  pinned_[k] = pinned ? 1 : 0;
 }
 
 void FailureView::add_lost_range(double now, DiskId k, DataId lo, DataId hi) {

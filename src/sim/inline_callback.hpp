@@ -114,7 +114,7 @@ class InlineCallback {
       ::new (storage()) D(std::forward<F>(fn));
       ops_ = &kInlineOps<D>;
     } else {
-      ::new (storage()) D*(new D(std::forward<F>(fn)));
+      ::new (storage()) D*(new D(std::forward<F>(fn)));  // det-ok: documented fallback for >48B captures; kernel lambdas stay inline
       ops_ = &kHeapOps<D>;
     }
   }

@@ -44,7 +44,7 @@ std::uint32_t Simulator::acquire_slot() {
   if ((s >> kChunkShift) == fns_.size()) {
     // Plain new[] (not make_unique) on purpose: default-initialized bytes,
     // so the 64 KiB chunk is mapped but never written here.
-    fns_.emplace_back(new std::byte[sizeof(Callback) * kChunkSize]);
+    fns_.emplace_back(new std::byte[sizeof(Callback) * kChunkSize]);  // det-ok: amortized 64 KiB chunk growth; the steady state recycles slots
   }
   meta_.emplace_back();
   // Default-init, not value-init: Callback{} would zero the whole 64-byte

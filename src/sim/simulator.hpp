@@ -228,7 +228,7 @@ class Simulator {
     std::uint64_t time_bits;  // time_to_bits(when); see above
     std::uint64_t seq_slot;   // (seq << kSlotBits) | slot
 
-    SimTime time() const {  // det-ok: simulated clock, not libc time()
+    SimTime time() const {  // simulated clock accessor, not libc time()
       return std::bit_cast<SimTime>(time_bits);
     }
     std::uint32_t slot() const {

@@ -1,0 +1,19 @@
+// A well-behaved translation unit: exercised layering edge, contracts on
+// every mutator, deterministic iteration only. Expected findings: zero.
+#include "util/check.hpp"
+
+namespace fx {
+
+struct Engine {
+  int limit_ = 0;
+  void set_limit(int n);
+};
+
+void Engine::set_limit(int n) {
+  EAS_REQUIRE(n > 0);
+  limit_ = n;
+}
+
+int limit_of(const Engine& e) { return e.limit_; }
+
+}  // namespace fx

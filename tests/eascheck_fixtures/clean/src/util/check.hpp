@@ -1,0 +1,10 @@
+#pragma once
+
+namespace fx {
+void contract_failed(const char* what);
+}  // namespace fx
+
+#define EAS_REQUIRE(cond) \
+  do {                    \
+    if (!(cond)) ::fx::contract_failed(#cond); \
+  } while (0)

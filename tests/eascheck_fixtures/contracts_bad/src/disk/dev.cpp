@@ -1,0 +1,28 @@
+// Contract-coverage fixture: public mutators defined out of line in a
+// src/*.cpp must state a contract.
+#include "util/check.hpp"
+
+namespace fx {
+
+void Disk::set_speed(double rpm) {  // expect: contracts-missing
+  speed_ = rpm;
+}
+
+void Disk::add_request(int id) {  // fine: states a precondition
+  EAS_REQUIRE(id >= 0);
+  queue_depth_ += 1;
+}
+
+void Disk::submit(int id) {  // expect: contracts-missing
+  queue_depth_ += id;
+}
+
+int Disk::queue_depth() const {  // accessor, not a mutator: exempt
+  return queue_depth_;
+}
+
+void free_set_helper(int v) {  // free function, not a member: exempt
+  (void)v;
+}
+
+}  // namespace fx

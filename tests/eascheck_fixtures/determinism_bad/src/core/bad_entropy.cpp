@@ -1,0 +1,17 @@
+// Fixture: nondeterministic seed sources in a decision module.
+#include <chrono>
+#include <random>
+
+namespace fx {
+
+unsigned seed_from_hardware() {
+  std::random_device rd;  // expect: determinism-random-device
+  return rd();
+}
+
+long long seed_from_wall_clock() {
+  auto now = std::chrono::system_clock::now();  // expect: determinism-system-clock
+  return now.time_since_epoch().count();
+}
+
+}  // namespace fx

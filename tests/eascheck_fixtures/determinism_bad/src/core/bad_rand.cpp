@@ -1,0 +1,15 @@
+// Fixture: every banned libc entropy/time construct, one finding each.
+#include <cstdlib>
+#include <ctime>
+
+namespace fx {
+
+int decide_libc() {
+  int a = rand();          // expect: determinism-libc-rand
+  srand(42);               // expect: determinism-libc-rand
+  long t = time(nullptr);  // expect: determinism-time-seed
+  long u = std::time(0);   // expect: determinism-time-seed
+  return a + static_cast<int>(t + u);
+}
+
+}  // namespace fx

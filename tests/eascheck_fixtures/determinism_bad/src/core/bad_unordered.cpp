@@ -1,0 +1,19 @@
+// Fixture: range-for over an unordered container inside a decision module.
+#include <unordered_map>
+#include <vector>
+
+namespace fx {
+
+int sum_scores() {
+  std::unordered_map<int, int> scores;
+  scores[1] = 10;
+  int total = 0;
+  for (const auto& kv : scores) {  // expect: determinism-unordered-iter
+    total += kv.second;
+  }
+  std::vector<int> ordered = {1, 2, 3};
+  for (int v : ordered) total += v;  // ordered: fine
+  return total;
+}
+
+}  // namespace fx

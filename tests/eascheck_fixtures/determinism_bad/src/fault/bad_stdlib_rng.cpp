@@ -1,0 +1,13 @@
+// Fixture: stdlib RNG engines/distributions banned inside src/fault (the
+// fault subsystem carries its own counter-based RNG for replayability).
+#include <random>  // expect: determinism-fault-stdlib-rng
+
+namespace fx {
+
+double draw() {
+  std::mt19937_64 eng(7);  // expect: determinism-fault-stdlib-rng
+  std::exponential_distribution<double> d(1.0);  // expect: determinism-fault-stdlib-rng
+  return d(eng);
+}
+
+}  // namespace fx

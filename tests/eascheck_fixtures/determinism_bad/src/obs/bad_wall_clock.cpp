@@ -1,0 +1,14 @@
+// Fixture: wall clocks banned in src/obs (trace timestamps must be SimTime).
+// Each line below yields two findings: the `chrono` identifier and the clock
+// name are both banned spellings, plus one for the #include itself.
+#include <chrono>  // expect: determinism-obs-wallclock
+
+namespace fx {
+
+long long stamp() {
+  auto a = std::chrono::steady_clock::now();  // expect: x2
+  auto b = std::chrono::high_resolution_clock::now();  // expect: x2
+  return (a.time_since_epoch() + b.time_since_epoch()).count();
+}
+
+}  // namespace fx

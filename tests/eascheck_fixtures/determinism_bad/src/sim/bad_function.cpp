@@ -1,0 +1,10 @@
+// Fixture: std::function banned in src/sim (kernel uses InlineCallback).
+#include <functional>
+
+namespace fx {
+
+struct Kernel {
+  std::function<void()> cb;  // expect: determinism-std-function-sim
+};
+
+}  // namespace fx

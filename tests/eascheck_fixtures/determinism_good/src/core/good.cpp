@@ -1,0 +1,33 @@
+// Token-accuracy proof: everything in this file LOOKS like a violation to a
+// grep-based lint but is legitimate C++. Expected findings: zero.
+//
+// rand() and srand(1) in a line comment must not flag.
+/* Nor time(NULL), std::random_device or mt19937 in a block comment. */
+#include <random>  // fine here: the <random> ban is scoped to src/fault/
+
+namespace fx {
+
+// Banned spellings inside ordinary and raw string literals are data.
+const char* kDoc = "call rand() then time(nullptr) with mt19937";
+const char* kRaw = R"doc(system_clock and random_device, even rand())doc";
+
+// Digit separators must not open character literals mid-number.
+const long kSeparated = 1'000'000;
+
+struct Clock {
+  // A declaration named `time`: the preceding type name marks it as a
+  // declarator, not a call expression.
+  double time() const;
+  double base = 0.0;
+};
+
+double sample(const Clock& c) { return c.time(); }   // member call
+double arrow(const Clock* c) { return c->time(); }   // member call
+
+// A user namespace may define time(); only std:: / :: qualify as libc.
+namespace myns {
+double time();
+}
+double qualified() { return myns::time(); }
+
+}  // namespace fx

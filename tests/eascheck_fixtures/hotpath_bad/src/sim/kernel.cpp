@@ -1,0 +1,29 @@
+#include <memory>
+#include <vector>
+
+namespace fx {
+
+struct Ev {
+  void* slot;
+};
+
+void* schedule(int n) {
+  int* backing = new int[n];  // expect: hotpath-heap-alloc
+  auto shared = std::make_shared<Ev>();  // expect: hotpath-heap-alloc
+  std::vector<int> queue;  // expect: hotpath-std-heap-type
+  queue.push_back(n);
+  (void)shared;
+  return backing;
+}
+
+void fire(Ev& e) {
+  if (e.slot == nullptr) throw 42;  // expect: hotpath-throw
+  ::new (e.slot) Ev();  // placement new: allowed on the hot path
+}
+
+void cold_path() {
+  int* scratch = new int(0);  // not a listed hot function: allowed
+  delete scratch;
+}
+
+}  // namespace fx

@@ -1,0 +1,8 @@
+namespace fx {
+
+// The manifest still lists `gone`, which was renamed to `present`.
+// expect: hotpath-missing-function, hotpath-missing-file (both anchored to
+// the manifest, not this file).
+void present() {}
+
+}  // namespace fx

@@ -1,0 +1,5 @@
+#include "runner/sweep.hpp"  // expect: layering-forbidden-include
+
+namespace fx {
+int schedule() { return kSweepWidth; }
+}  // namespace fx

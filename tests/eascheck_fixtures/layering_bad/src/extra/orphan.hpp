@@ -1,0 +1,6 @@
+#pragma once
+// expect: layering-unknown-module (src/extra has no [layers] entry)
+
+namespace fx {
+constexpr int kOrphan = 1;
+}  // namespace fx

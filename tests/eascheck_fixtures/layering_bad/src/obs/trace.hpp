@@ -1,0 +1,9 @@
+#pragma once
+
+#include "util/timebase.hpp"  // allowed: obs -> util
+
+namespace fx {
+struct Trace {
+  SimTime stamp = 0.0;
+};
+}  // namespace fx

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fx {
+constexpr int kSweepWidth = 8;
+}  // namespace fx

@@ -1,0 +1,11 @@
+#pragma once
+
+#include "util/timebase.hpp"  // allowed: sim -> util
+
+#include "obs/trace.hpp"  // expect: layering-forbidden-include
+
+namespace fx {
+struct Kernel {
+  SimTime now = 0.0;
+};
+}  // namespace fx

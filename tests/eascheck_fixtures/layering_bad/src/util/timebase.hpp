@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fx {
+using SimTime = double;
+}  // namespace fx

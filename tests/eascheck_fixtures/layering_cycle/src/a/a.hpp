@@ -1,0 +1,7 @@
+#pragma once
+
+#include "b/b.hpp"
+
+namespace fx {
+constexpr int kA = kB + 1;
+}  // namespace fx

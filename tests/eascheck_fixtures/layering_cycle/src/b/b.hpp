@@ -1,0 +1,7 @@
+#pragma once
+
+#include "a/a.hpp"
+
+namespace fx {
+constexpr int kB = 2;
+}  // namespace fx

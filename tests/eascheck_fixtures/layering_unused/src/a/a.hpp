@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fx {
+constexpr int kA = 1;
+}  // namespace fx

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fx {
+constexpr int kB = 2;
+}  // namespace fx

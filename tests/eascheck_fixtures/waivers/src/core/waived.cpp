@@ -1,0 +1,11 @@
+// Waiver accounting fixture. Under `--rules all`:
+//   line with a justified waiver  -> finding suppressed, waiver counted used
+//   line with an empty reason     -> finding suppressed BUT waiver-empty-reason
+//   line whose waiver hides nothing -> waiver-stale
+namespace fx {
+
+int used() { return rand(); }  // det-ok: fixture exercises a justified waiver
+int empty_reason() { return rand(); }  // det-ok:
+int stale = 0;  // det-ok: nothing on this line needs a waiver
+
+}  // namespace fx

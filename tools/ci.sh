@@ -1,18 +1,24 @@
 #!/usr/bin/env bash
 # Full correctness gate, runnable locally or from CI:
 #
-#   1. determinism lint (fast, no toolchain needed)
-#   2. default build + full test suite, warnings fatal
-#   3. fault smoke (fault-smoke label + the availability ablation end to
+#   1. determinism lint (eascheck --rules determinism via the wrapper;
+#      needs a compiler once to build the analyzer, nothing else)
+#   2. eascheck: all four scan engines (determinism, layering, hotpath,
+#      contracts) over the whole tree, findings written to
+#      build/eascheck-findings.txt for CI artifact upload
+#   3. default build + full test suite, warnings fatal
+#   4. fault smoke (fault-smoke label + the availability ablation end to
 #      end: the degraded-mode surface on its own, attributable stage)
-#   3b. obs smoke (obs-smoke label + the allocation-counting binary: the
+#   4b. obs smoke (obs-smoke label + the allocation-counting binary: the
 #      tracing/metrics surface and its zero-overhead-when-off proof)
-#   4. audit build (EASCHED_AUDIT=ON): every EAS_ASSERT/EAS_AUDIT compiled
+#   5. audit build (EASCHED_AUDIT=ON): every EAS_ASSERT/EAS_AUDIT compiled
 #      into the release binary, full suite again
-#   5. ASan+UBSan smoke (sanitize-smoke preset, reduced request counts)
-#   6. TSan sweep smoke (sweep-smoke preset: the concurrency surface)
-#   7. clang-tidy over all TUs via the lint preset (skipped with a notice
-#      when clang-tidy is not installed)
+#   6. ASan+UBSan smoke (sanitize-smoke preset, reduced request counts)
+#   7. TSan sweep smoke (sweep-smoke preset: the concurrency surface)
+#   8. clang-tidy over all TUs via eascheck's tidy engine (skipped with a
+#      notice when clang-tidy is not installed; EAS_CI=1 makes a missing
+#      clang-tidy an error so the hosted runners cannot silently skip it)
+#   9. format report (clang-format conformance, non-gating)
 #
 # Any stage failing fails the script. Stages can be skipped by name:
 #   tools/ci.sh --skip tsan,lint
@@ -41,6 +47,16 @@ run_stage() { # run_stage <name> <cmd...>
 }
 
 stage_determinism() { tools/lint_determinism.sh; }
+
+# Builds the analyzer inside the normal tree and gates on zero findings
+# across all four scan engines. The findings report survives as a build
+# artifact so a red CI run shows the violations without re-running.
+stage_eascheck() {
+  cmake --preset default
+  cmake --build --preset default -j "$jobs" --target eascheck
+  ./build/tools/eascheck/eascheck --rules all \
+    --report build/eascheck-findings.txt
+}
 
 stage_default() {
   cmake --preset default -DEASCHED_WERROR=ON
@@ -88,14 +104,29 @@ stage_obs() {
 
 stage_lint() {
   if ! command -v clang-tidy > /dev/null 2>&1; then
+    if [[ "${EAS_CI:-0}" == "1" ]]; then
+      echo "clang-tidy required in CI but not installed" >&2
+      return 2
+    fi
     echo "clang-tidy not installed; skipping lint stage"
     return 0
   fi
+  # The lint preset compiles with clang-tidy attached (fatal warnings);
+  # eascheck's tidy engine then re-drives clang-tidy off the exported
+  # compile database so the same entry point gates both locally and in CI.
   cmake --preset lint
   cmake --build --preset lint -j "$jobs"
+  local tidy_flags=(--rules tidy --compile-commands build-lint/compile_commands.json)
+  [[ "${EAS_CI:-0}" == "1" ]] && tidy_flags+=(--require-tidy)
+  cmake --preset default
+  cmake --build --preset default -j "$jobs" --target eascheck
+  ./build/tools/eascheck/eascheck "${tidy_flags[@]}"
 }
 
+stage_format() { tools/format_check.sh; }
+
 run_stage determinism stage_determinism
+run_stage eascheck stage_eascheck
 run_stage default stage_default
 run_stage fault stage_fault
 run_stage obs stage_obs
@@ -103,5 +134,6 @@ run_stage audit stage_audit
 run_stage asan stage_asan
 run_stage tsan stage_tsan
 run_stage lint stage_lint
+run_stage format stage_format
 
 echo "=== all CI stages passed"

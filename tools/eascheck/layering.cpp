@@ -1,0 +1,143 @@
+// Include-layering enforcer. The "real include graph" is read from the
+// lexer's preprocessor tokens (every #include directive that survives
+// comment/string stripping), so an include edge mentioned in prose or a
+// commented-out include can never create or mask a violation.
+//
+// Three checks, all against tools/eascheck/layers.toml:
+//   1. every src-module -> src-module include edge must be allowed by the
+//      manifest (a module may always include itself);
+//   2. the *realized* module graph must be acyclic — even a cycle the
+//      manifest would permit is an error, because link order and layered
+//      reasoning both die with the first cycle;
+//   3. every manifest edge must be exercised by at least one include in the
+//      tree — an unused allow-rule is latent permission nobody asked for,
+//      the manifest-level analogue of a stale waiver.
+// Checks 1+3 together make the manifest exact: deleting any rule breaks a
+// real edge, adding any rule trips the unused-rule check.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "eascheck.hpp"
+
+namespace eascheck {
+namespace {
+
+/// Module of a quoted include target like "sim/simulator.hpp" -> "sim".
+std::string include_module(const std::string& target) {
+  const std::size_t s = target.find('/');
+  return s == std::string::npos ? std::string{} : target.substr(0, s);
+}
+
+struct Edge {
+  std::string from, to;
+  bool operator<(const Edge& o) const {
+    return from != o.from ? from < o.from : to < o.to;
+  }
+};
+
+struct Witness {
+  TokenFile* file;
+  int line;
+};
+
+/// Depth-first cycle search over the realized module graph; returns the
+/// first cycle found as a module path (front == back), or empty.
+std::vector<std::string> find_cycle(
+    const std::map<std::string, std::set<std::string>>& adj) {
+  std::map<std::string, int> state;  // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::string> stack;
+  std::vector<std::string> cycle;
+
+  auto dfs = [&](auto&& self, const std::string& u) -> bool {
+    state[u] = 1;
+    stack.push_back(u);
+    auto it = adj.find(u);
+    if (it != adj.end()) {
+      for (const std::string& v : it->second) {
+        if (state[v] == 1) {
+          const auto at = std::find(stack.begin(), stack.end(), v);
+          cycle.assign(at, stack.end());
+          cycle.push_back(v);
+          return true;
+        }
+        if (state[v] == 0 && self(self, v)) return true;
+      }
+    }
+    stack.pop_back();
+    state[u] = 2;
+    return false;
+  };
+
+  for (const auto& [u, vs] : adj) {
+    if (state[u] == 0 && dfs(dfs, u)) return cycle;
+  }
+  return {};
+}
+
+}  // namespace
+
+void run_layering(std::vector<TokenFile>& files, const Manifest& m,
+                  Report& rep) {
+  std::map<Edge, Witness> edges;  // first witness per realized edge
+  std::map<std::string, std::set<std::string>> adj;
+
+  for (TokenFile& f : files) {
+    const std::string from = f.src_module();
+    if (from.empty()) continue;  // layering governs src/ only
+    if (!m.has_module(from)) {
+      rep.add(f, 1, "layering-unknown-module",
+              "module src/" + from + " is not declared in " + m.path +
+                  " — add a [layers] entry with its allowed dependencies");
+      continue;
+    }
+    for (const Token& t : f.tokens) {
+      if (t.kind != Tok::kIncludeQuote) continue;
+      const std::string to = include_module(t.text);
+      if (to.empty() || !m.has_module(to)) continue;  // not a project module
+      if (to != from) {
+        adj[from].insert(to);
+        edges.emplace(Edge{from, to}, Witness{&f, t.line});
+      }
+      if (to == from) continue;
+      const std::vector<std::string>* allowed = m.deps(from);
+      if (std::find(allowed->begin(), allowed->end(), to) == allowed->end()) {
+        rep.add(f, t.line, "layering-forbidden-include",
+                "src/" + from + " may not include \"" + t.text + "\" — " +
+                    m.path + " does not allow the edge " + from + " -> " + to);
+      }
+    }
+  }
+
+  const std::vector<std::string> cycle = find_cycle(adj);
+  if (!cycle.empty()) {
+    std::ostringstream os;
+    os << "include cycle between src modules: ";
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      if (i != 0) os << " -> ";
+      os << cycle[i];
+    }
+    const Witness& w = edges.at(Edge{cycle[0], cycle[1]});
+    rep.add(*w.file, w.line, "layering-cycle", os.str());
+  }
+
+  for (const auto& [mod, deps] : m.layers) {
+    for (const std::string& dep : deps) {
+      if (!m.has_module(dep)) {
+        rep.add_raw(m.path, m.layer_lines.at(mod), "layering-unknown-module",
+                    "layer " + mod + " allows unknown module " + dep);
+        continue;
+      }
+      if (edges.count(Edge{mod, dep}) == 0) {
+        rep.add_raw(m.path, m.layer_lines.at(mod), "layering-unused-rule",
+                    "manifest allows " + mod + " -> " + dep +
+                        " but no include in the tree uses that edge — "
+                        "delete the rule or the code that needed it");
+      }
+    }
+  }
+}
+
+}  // namespace eascheck

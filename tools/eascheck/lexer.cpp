@@ -1,0 +1,341 @@
+// Token scanner: the accuracy core of eascheck. Comments and string/char
+// literals are consumed (so their contents can never trigger a rule), raw
+// strings honor their delimiter, digit separators don't start char literals,
+// and #include targets become dedicated tokens carrying the header path.
+// Preprocessor directives other than #include are *not* skipped: their
+// replacement text is lexed like ordinary code, so a macro body calling
+// rand() is still visible to the rules (the grep lint saw it; so do we).
+
+#include "eascheck.hpp"
+
+namespace eascheck {
+namespace {
+
+bool is_ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool is_ident_char(char c) {
+  return is_ident_start(c) || (c >= '0' && c <= '9');
+}
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return {};
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+class Lexer {
+ public:
+  Lexer(std::string rel_path, const std::string& src) : src_(src) {
+    out_.path = std::move(rel_path);
+  }
+
+  TokenFile run() {
+    while (i_ < src_.size()) step();
+    return std::move(out_);
+  }
+
+ private:
+  char cur() const { return src_[i_]; }
+  char peek(std::size_t k = 1) const {
+    return i_ + k < src_.size() ? src_[i_ + k] : '\0';
+  }
+  void bump() {
+    const char c = src_[i_];
+    if (c == '\n') {
+      ++line_;
+      at_line_start_ = true;
+    } else if (c != ' ' && c != '\t' && c != '\r' && c != '\v' && c != '\f') {
+      at_line_start_ = false;
+    }
+    ++i_;
+  }
+
+  void emit(Tok kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void step() {
+    const char c = cur();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+        c == '\v') {
+      bump();
+      return;
+    }
+    if (c == '\\' && peek() == '\n') {  // line continuation
+      bump();
+      bump();
+      return;
+    }
+    if (c == '/' && peek() == '/') {
+      line_comment();
+      return;
+    }
+    if (c == '/' && peek() == '*') {
+      block_comment();
+      return;
+    }
+    if (c == '#' && at_line_start_) {
+      directive();
+      return;
+    }
+    if (is_ident_start(c)) {
+      identifier();
+      return;
+    }
+    if (is_digit(c) || (c == '.' && is_digit(peek()))) {
+      number();
+      return;
+    }
+    if (c == '"') {
+      string_lit();
+      return;
+    }
+    if (c == '\'') {
+      char_lit();
+      return;
+    }
+    punct();
+  }
+
+  /// A `// det-ok: <reason>` comment is the waiver syntax inherited from the
+  /// grep lint: it suppresses findings on its own line. Block comments are
+  /// deliberately not waivers — a waiver should be visible at the end of the
+  /// offending line, not buried in prose.
+  void line_comment() {
+    const int line = line_;
+    std::string text;
+    while (i_ < src_.size() && cur() != '\n') {
+      text.push_back(cur());
+      bump();
+    }
+    const std::size_t pos = text.find("det-ok:");
+    if (pos != std::string::npos) {
+      out_.waivers[line] = Waiver{trim(text.substr(pos + 7)), false};
+    }
+  }
+
+  void block_comment() {
+    bump();  // '/'
+    bump();  // '*'
+    while (i_ < src_.size()) {
+      if (cur() == '*' && peek() == '/') {
+        bump();
+        bump();
+        return;
+      }
+      bump();
+    }
+  }
+
+  /// #include targets become tokens; every other directive introducer is
+  /// dropped and its payload lexed as ordinary tokens (see file comment).
+  void directive() {
+    bump();  // '#'
+    while (i_ < src_.size() && (cur() == ' ' || cur() == '\t')) bump();
+    std::string name;
+    while (i_ < src_.size() && is_ident_char(cur())) {
+      name.push_back(cur());
+      bump();
+    }
+    if (name != "include" && name != "include_next") return;
+    while (i_ < src_.size() && (cur() == ' ' || cur() == '\t')) bump();
+    if (i_ >= src_.size()) return;
+    const int line = line_;
+    if (cur() == '"' || cur() == '<') {
+      const char close = cur() == '"' ? '"' : '>';
+      bump();
+      std::string path;
+      while (i_ < src_.size() && cur() != close && cur() != '\n') {
+        path.push_back(cur());
+        bump();
+      }
+      if (i_ < src_.size() && cur() == close) bump();
+      emit(close == '"' ? Tok::kIncludeQuote : Tok::kIncludeAngle,
+           std::move(path), line);
+    }
+    // Computed includes (#include MACRO) fall through: the macro name was
+    // already consumed as the directive payload ends here anyway.
+  }
+
+  void identifier() {
+    const int line = line_;
+    std::string text;
+    while (i_ < src_.size() && is_ident_char(cur())) {
+      text.push_back(cur());
+      bump();
+    }
+    // Encoding prefixes glue onto literals: R"(raw)", u8"s", L'c', ...
+    if (i_ < src_.size() && cur() == '"') {
+      const bool raw = !text.empty() && text.back() == 'R' &&
+                       (text == "R" || text == "u8R" || text == "uR" ||
+                        text == "UR" || text == "LR");
+      if (raw) {
+        raw_string_lit(line);
+        return;
+      }
+      if (text == "u8" || text == "u" || text == "U" || text == "L") {
+        string_lit();
+        return;
+      }
+    }
+    if (i_ < src_.size() && cur() == '\'' &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      char_lit();
+      return;
+    }
+    emit(Tok::kIdent, std::move(text), line);
+  }
+
+  void number() {
+    const int line = line_;
+    bump();
+    while (i_ < src_.size()) {
+      const char c = cur();
+      if (is_ident_char(c) || c == '.') {
+        bump();
+      } else if (c == '\'' && is_ident_char(peek())) {
+        bump();  // digit separator, not a char literal
+      } else if ((c == '+' || c == '-') && i_ > 0 &&
+                 (src_[i_ - 1] == 'e' || src_[i_ - 1] == 'E' ||
+                  src_[i_ - 1] == 'p' || src_[i_ - 1] == 'P')) {
+        bump();  // exponent sign
+      } else {
+        break;
+      }
+    }
+    emit(Tok::kNumber, "", line);
+  }
+
+  void string_lit() {
+    const int line = line_;
+    bump();  // opening quote
+    while (i_ < src_.size()) {
+      if (cur() == '\\' && i_ + 1 < src_.size()) {
+        bump();
+        bump();
+        continue;
+      }
+      if (cur() == '"') {
+        bump();
+        break;
+      }
+      if (cur() == '\n') break;  // unterminated — don't eat the file
+      bump();
+    }
+    emit(Tok::kString, "", line);
+  }
+
+  void raw_string_lit(int line) {
+    bump();  // '"'
+    std::string delim;
+    while (i_ < src_.size() && cur() != '(' && cur() != '\n') {
+      delim.push_back(cur());
+      bump();
+    }
+    if (i_ < src_.size() && cur() == '(') bump();
+    const std::string close = ")" + delim + "\"";
+    while (i_ < src_.size()) {
+      if (cur() == ')' && src_.compare(i_, close.size(), close) == 0) {
+        for (std::size_t k = 0; k < close.size(); ++k) bump();
+        break;
+      }
+      bump();
+    }
+    emit(Tok::kString, "", line);
+  }
+
+  void char_lit() {
+    const int line = line_;
+    bump();  // opening quote
+    while (i_ < src_.size()) {
+      if (cur() == '\\' && i_ + 1 < src_.size()) {
+        bump();
+        bump();
+        continue;
+      }
+      if (cur() == '\'') {
+        bump();
+        break;
+      }
+      if (cur() == '\n') break;
+      bump();
+    }
+    emit(Tok::kChar, "", line);
+  }
+
+  /// `::` and `->` matter to the rules (member access / qualification), so
+  /// they are fused; every other operator is fine as single characters.
+  void punct() {
+    const int line = line_;
+    const char c = cur();
+    if (c == ':' && peek() == ':') {
+      bump();
+      bump();
+      emit(Tok::kPunct, "::", line);
+      return;
+    }
+    if (c == '-' && peek() == '>') {
+      bump();
+      bump();
+      emit(Tok::kPunct, "->", line);
+      return;
+    }
+    bump();
+    emit(Tok::kPunct, std::string(1, c), line);
+  }
+
+  const std::string& src_;
+  TokenFile out_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  // True while only whitespace has been consumed on the current line
+  // (maintained by bump()). Only used to recognize directives.
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+std::string TokenFile::top_dir() const {
+  const std::size_t s = path.find('/');
+  return s == std::string::npos ? path : path.substr(0, s);
+}
+
+std::string TokenFile::src_module() const {
+  if (path.rfind("src/", 0) != 0) return {};
+  const std::size_t s = path.find('/', 4);
+  return s == std::string::npos ? std::string{} : path.substr(4, s - 4);
+}
+
+bool TokenFile::under(const std::string& prefix) const {
+  if (path.rfind(prefix, 0) != 0) return false;
+  return path.size() == prefix.size() || prefix.back() == '/' ||
+         path[prefix.size()] == '/';
+}
+
+TokenFile lex_file(std::string rel_path, const std::string& content) {
+  Lexer lx(std::move(rel_path), content);
+  TokenFile f = lx.run();
+  return f;
+}
+
+void Report::add(TokenFile& f, int line, const std::string& rule,
+                 const std::string& message) {
+  auto it = f.waivers.find(line);
+  if (it != f.waivers.end()) {
+    it->second.used = true;
+    ++suppressed;
+    return;
+  }
+  add_raw(f.path, line, rule, message);
+}
+
+void Report::add_raw(std::string file, int line, std::string rule,
+                     std::string message) {
+  findings.push_back(
+      Finding{std::move(file), line, std::move(rule), std::move(message)});
+}
+
+}  // namespace eascheck

@@ -1,0 +1,279 @@
+// eascheck CLI. See eascheck.hpp for the engine overview.
+//
+//   eascheck [--root DIR] [--rules LIST|all] [--manifest FILE]
+//            [--compile-commands FILE] [--scan DIRS] [--exclude PREFIXES]
+//            [--report FILE] [--require-tidy]
+//
+// Exit codes match the old grep lint: 0 clean, 1 findings, 2 environment /
+// usage error. An empty scan (zero source files) is an environment error,
+// never a pass — the grep script's unquoted `$files` could silently scan
+// nothing and exit 0; that failure mode is structurally impossible here.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eascheck.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Options {
+  std::string root = ".";
+  std::set<std::string> rules;  // determinism, layering, hotpath, contracts, tidy
+  std::string manifest;         // default: <root>/tools/eascheck/layers.toml
+  std::string compile_commands; // default: <root>/build/compile_commands.json
+  std::vector<std::string> scan_dirs = {"src", "bench", "examples", "tests"};
+  std::vector<std::string> excludes = {"tests/eascheck_fixtures"};
+  std::string report;
+  bool require_tidy = false;
+};
+
+const std::set<std::string> kScanRules = {"determinism", "layering", "hotpath",
+                                          "contracts"};
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string item = comma == std::string::npos
+                                 ? s.substr(pos)
+                                 : s.substr(pos, comma - pos);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --root DIR             tree to analyze (default .)\n"
+      << "  --rules LIST           comma list of determinism,layering,hotpath,\n"
+      << "                         contracts,tidy — or 'all' (the four scan\n"
+      << "                         engines; tidy stays opt-in). Default: all\n"
+      << "  --manifest FILE        layer/hotpath manifest (default\n"
+      << "                         ROOT/tools/eascheck/layers.toml)\n"
+      << "  --compile-commands FILE compile database for --rules tidy\n"
+      << "                         (default ROOT/build/compile_commands.json)\n"
+      << "  --scan DIRS            comma list of dirs under ROOT to scan\n"
+      << "                         (default src,bench,examples,tests)\n"
+      << "  --exclude PREFIXES     comma list of ROOT-relative path prefixes\n"
+      << "                         to skip (default tests/eascheck_fixtures)\n"
+      << "  --report FILE          also write findings + summary to FILE\n"
+      << "  --require-tidy         missing clang-tidy/compile db is an error\n";
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const char* v = nullptr;
+    if (a == "--root" && (v = need_value(i)) != nullptr) {
+      opt.root = v;
+    } else if (a == "--rules" && (v = need_value(i)) != nullptr) {
+      for (const std::string& r : split_commas(v)) {
+        if (r == "all") {
+          opt.rules.insert(kScanRules.begin(), kScanRules.end());
+        } else if (kScanRules.count(r) != 0 || r == "tidy") {
+          opt.rules.insert(r);
+        } else {
+          std::cerr << "eascheck: unknown rule set '" << r << "'\n";
+          return false;
+        }
+      }
+    } else if (a == "--manifest" && (v = need_value(i)) != nullptr) {
+      opt.manifest = v;
+    } else if (a == "--compile-commands" && (v = need_value(i)) != nullptr) {
+      opt.compile_commands = v;
+    } else if (a == "--scan" && (v = need_value(i)) != nullptr) {
+      opt.scan_dirs = split_commas(v);
+    } else if (a == "--exclude" && (v = need_value(i)) != nullptr) {
+      opt.excludes = split_commas(v);
+    } else if (a == "--report" && (v = need_value(i)) != nullptr) {
+      opt.report = v;
+    } else if (a == "--require-tidy") {
+      opt.require_tidy = true;
+    } else {
+      std::cerr << "eascheck: bad argument '" << a << "'\n";
+      return false;
+    }
+  }
+  if (opt.rules.empty()) {
+    opt.rules.insert(kScanRules.begin(), kScanRules.end());
+  }
+  if (opt.manifest.empty()) {
+    opt.manifest = opt.root + "/tools/eascheck/layers.toml";
+  }
+  if (opt.compile_commands.empty()) {
+    opt.compile_commands = opt.root + "/build/compile_commands.json";
+  }
+  return true;
+}
+
+bool has_source_ext(const fs::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".cpp" || e == ".hpp" || e == ".h";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage(argv[0]);
+
+  const bool scanning =
+      std::any_of(kScanRules.begin(), kScanRules.end(),
+                  [&](const std::string& r) { return opt.rules.count(r); });
+  const bool full_scan =
+      std::all_of(kScanRules.begin(), kScanRules.end(),
+                  [&](const std::string& r) { return opt.rules.count(r); });
+
+  std::vector<eascheck::TokenFile> files;
+  if (scanning) {
+    std::vector<std::string> rel_paths;
+    for (const std::string& dir : opt.scan_dirs) {
+      const fs::path base = fs::path(opt.root) / dir;
+      std::error_code ec;
+      if (!fs::is_directory(base, ec)) continue;
+      for (fs::recursive_directory_iterator it(base, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (!it->is_regular_file() || !has_source_ext(it->path())) continue;
+        const std::string rel =
+            it->path().lexically_relative(opt.root).generic_string();
+        const bool excluded = std::any_of(
+            opt.excludes.begin(), opt.excludes.end(),
+            [&](const std::string& x) { return rel.rfind(x, 0) == 0; });
+        if (!excluded) rel_paths.push_back(rel);
+      }
+    }
+    std::sort(rel_paths.begin(), rel_paths.end());
+    if (rel_paths.empty()) {
+      std::cerr << "eascheck: no source files found under " << opt.root
+                << " (scan dirs:";
+      for (const std::string& d : opt.scan_dirs) std::cerr << " " << d;
+      std::cerr << ") — refusing a vacuous pass\n";
+      return 2;
+    }
+    files.reserve(rel_paths.size());
+    for (const std::string& rel : rel_paths) {
+      std::ifstream in(fs::path(opt.root) / rel, std::ios::binary);
+      if (!in) {
+        std::cerr << "eascheck: cannot read " << rel << "\n";
+        return 2;
+      }
+      std::stringstream ss;
+      ss << in.rdbuf();
+      files.push_back(eascheck::lex_file(rel, ss.str()));
+    }
+  }
+
+  eascheck::Manifest manifest;
+  if (opt.rules.count("layering") != 0 || opt.rules.count("hotpath") != 0) {
+    std::ifstream in(opt.manifest, std::ios::binary);
+    if (!in) {
+      std::cerr << "eascheck: manifest " << opt.manifest << " not found\n";
+      return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string error;
+    // Findings are anchored to the manifest with a root-relative path so
+    // test expectations don't depend on where --root points.
+    std::string manifest_rel = opt.manifest;
+    const std::string prefix = opt.root + "/";
+    if (manifest_rel.rfind(prefix, 0) == 0) {
+      manifest_rel = manifest_rel.substr(prefix.size());
+    }
+    if (!eascheck::parse_manifest(manifest_rel, ss.str(), manifest, error)) {
+      std::cerr << "eascheck: " << error << "\n";
+      return 2;
+    }
+  }
+
+  eascheck::Report rep;
+  if (opt.rules.count("determinism") != 0) {
+    eascheck::run_determinism(files, rep);
+  }
+  if (opt.rules.count("layering") != 0) {
+    eascheck::run_layering(files, manifest, rep);
+  }
+  if (opt.rules.count("hotpath") != 0) {
+    eascheck::run_hotpath(files, manifest, rep);
+  }
+  if (opt.rules.count("contracts") != 0) {
+    eascheck::run_contracts(files, rep);
+  }
+
+  // Waiver accounting. An empty reason is always an error — the reason is
+  // the reviewable artifact. Staleness (a waiver that suppressed nothing)
+  // is only decidable when every scan engine ran, so partial runs (e.g. the
+  // determinism wrapper) skip it rather than mis-flag a hotpath waiver.
+  std::size_t waivers = 0;
+  std::size_t stale = 0;
+  for (eascheck::TokenFile& f : files) {
+    for (const auto& [line, w] : f.waivers) {
+      ++waivers;
+      if (w.reason.empty()) {
+        rep.add_raw(f.path, line, "waiver-empty-reason",
+                    "det-ok waiver without a reason — write down why the "
+                    "finding is acceptable");
+      } else if (full_scan && !w.used) {
+        ++stale;
+        rep.add_raw(f.path, line, "waiver-stale",
+                    "stale det-ok waiver: no finding on this line any more — "
+                    "delete the waiver");
+      }
+    }
+  }
+
+  std::sort(rep.findings.begin(), rep.findings.end(),
+            [](const eascheck::Finding& a, const eascheck::Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+
+  std::ostringstream body;
+  for (const eascheck::Finding& fnd : rep.findings) {
+    body << fnd.file << ":" << fnd.line << ": [" << fnd.rule << "] "
+         << fnd.message << "\n";
+  }
+
+  std::size_t tidy_findings = 0;
+  bool env_error = false;
+  if (opt.rules.count("tidy") != 0) {
+    tidy_findings = eascheck::run_tidy(opt.root, opt.compile_commands,
+                                       opt.require_tidy, env_error);
+  }
+
+  const std::size_t total = rep.findings.size() + tidy_findings;
+  std::ostringstream summary;
+  summary << "eascheck: files=" << files.size() << " findings=" << total
+          << " suppressed=" << rep.suppressed << " waivers=" << waivers
+          << " stale=" << stale << "\n";
+
+  std::cout << body.str() << summary.str();
+  if (!opt.report.empty()) {
+    std::ofstream out(opt.report, std::ios::trunc);
+    if (!out) {
+      std::cerr << "eascheck: cannot write report " << opt.report << "\n";
+      return 2;
+    }
+    out << body.str() << summary.str();
+  }
+  if (env_error) return 2;
+  return total == 0 ? 0 : 1;
+}

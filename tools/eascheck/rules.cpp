@@ -1,0 +1,498 @@
+// Token-level rule engines: determinism bans, hot-path allocation/throw
+// bans, and contract-coverage heuristics. All of them consume the lexer's
+// token stream, so comments, strings and #if-0 prose can neither trigger
+// nor hide a finding, and call sites are distinguished from declarations
+// (the grep lint flagged `SimTime time() const` as a libc time() call; the
+// token rules know a callee is preceded by an operator, not a type name).
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "eascheck.hpp"
+
+namespace eascheck {
+namespace {
+
+const std::set<std::string> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+/// Modules whose iteration order feeds scheduling/power/placement decisions.
+const std::set<std::string> kDecisionModules = {
+    "core", "power", "graph", "placement", "runner", "fault"};
+
+/// stdlib RNG engines banned in src/fault/ (variates must come from the
+/// seeded util::Rng streams keyed off FaultProfile::seed).
+const std::set<std::string> kStdlibEngines = {
+    "mt19937",      "mt19937_64",    "minstd_rand", "minstd_rand0",
+    "ranlux24",     "ranlux48",      "ranlux24_base", "ranlux48_base",
+    "knuth_b",      "default_random_engine"};
+
+/// Wall-clock identifiers banned in src/obs/ (trace time is simulated time,
+/// passed in by the caller; obs has nothing legitimate to time).
+const std::set<std::string> kWallClockIdents = {
+    "chrono",        "steady_clock",  "high_resolution_clock",
+    "gettimeofday",  "clock_gettime", "timespec_get",
+    "localtime",     "gmtime"};
+
+/// Allocation entry points banned inside hot-path bodies.
+const std::set<std::string> kAllocCalls = {
+    "make_shared", "make_unique", "malloc",        "calloc",
+    "realloc",     "strdup",      "aligned_alloc"};
+
+/// std:: types whose construction implies (or usually implies) a heap
+/// allocation — banned inside hot-path bodies when spelled std::X.
+const std::set<std::string> kHeapStdTypes = {
+    "string",        "basic_string", "vector",       "deque",
+    "list",          "map",          "set",          "multimap",
+    "multiset",      "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset", "function", "any",         "ostringstream",
+    "istringstream", "stringstream", "shared_ptr",   "unique_ptr"};
+
+/// Keywords that legitimately precede a call expression. An identifier
+/// before `name(` that is NOT one of these marks a declaration
+/// (`SimTime time()`), not a call.
+const std::set<std::string> kExprKeywords = {
+    "return", "else", "do", "case", "co_return", "co_yield",
+    "throw", "and", "or", "not"};
+
+bool is_punct(const Token& t, const char* s) {
+  return t.kind == Tok::kPunct && t.text == s;
+}
+
+const Token* at(const std::vector<Token>& v, std::size_t i) {
+  return i < v.size() ? &v[i] : nullptr;
+}
+
+/// Call-context test for a free-function ban on tokens[i] (the callee name):
+///  * member access (`x.time()`, `p->rand()`) is never the libc function;
+///  * `std::time`, `::time` are; `other_ns::time` is not;
+///  * an identifier before the name means a declaration, unless it is a
+///    keyword like `return` that can precede an expression.
+bool is_banned_free_call(const std::vector<Token>& toks, std::size_t i) {
+  if (i == 0) return true;
+  const Token& prev = toks[i - 1];
+  if (is_punct(prev, ".") || is_punct(prev, "->")) return false;
+  if (is_punct(prev, "::")) {
+    if (i < 2) return true;  // ::time(...) — global scope
+    const Token& before = toks[i - 2];
+    if (before.kind == Tok::kIdent) return before.text == "std";
+    return true;  // operator before `::` — global-scope call
+  }
+  if (prev.kind == Tok::kIdent) return kExprKeywords.count(prev.text) != 0;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Shared definition/body location
+
+/// Index of the token after the body's opening brace for a parameter list
+/// opening at `lparen`, or npos when the construct is not a definition.
+/// Walks: `( params ) const noexcept(...) -> trailing::type {`.
+std::size_t body_begin_after_params(const std::vector<Token>& toks,
+                                    std::size_t lparen) {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t depth = 0;
+  std::size_t k = lparen;
+  for (; k < toks.size(); ++k) {
+    if (is_punct(toks[k], "(")) ++depth;
+    if (is_punct(toks[k], ")") && --depth == 0) break;
+  }
+  if (k >= toks.size()) return npos;
+  for (++k; k < toks.size(); ++k) {
+    const Token& t = toks[k];
+    if (is_punct(t, "{")) return k + 1;
+    if (t.kind == Tok::kIdent || t.kind == Tok::kPunct) {
+      if (is_punct(t, "(")) {  // noexcept(...) — skip the balanced group
+        std::size_t d = 0;
+        for (; k < toks.size(); ++k) {
+          if (is_punct(toks[k], "(")) ++d;
+          if (is_punct(toks[k], ")") && --d == 0) break;
+        }
+        if (k >= toks.size()) return npos;
+        continue;
+      }
+      if (t.kind == Tok::kIdent || t.text == "->" || t.text == "::" ||
+          t.text == "&" || t.text == "*" || t.text == "<" || t.text == ">" ||
+          t.text == ",") {
+        continue;  // qualifiers / trailing return type
+      }
+      return npos;  // `;` (declaration), `=`, or an operator after a call
+    }
+    return npos;
+  }
+  return npos;
+}
+
+/// Index of the `}` closing the body whose first token is `begin`.
+std::size_t body_end(const std::vector<Token>& toks, std::size_t begin) {
+  std::size_t depth = 1;
+  for (std::size_t k = begin; k < toks.size(); ++k) {
+    if (is_punct(toks[k], "{")) ++depth;
+    if (is_punct(toks[k], "}") && --depth == 0) return k;
+  }
+  return toks.size();
+}
+
+}  // namespace
+
+std::vector<std::pair<std::size_t, std::size_t>> find_function_bodies(
+    const TokenFile& f, const std::string& name) {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  const std::vector<Token>& toks = f.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || toks[i].text != name) continue;
+    if (!is_punct(toks[i + 1], "(")) continue;
+    if (i > 0 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
+      continue;  // member call on an object, not a definition
+    }
+    const std::size_t begin = body_begin_after_params(toks, i + 1);
+    if (begin == npos) continue;
+    out.emplace_back(begin, body_end(toks, begin));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+
+namespace {
+
+/// Per-module names of variables/members declared with an unordered
+/// container type. Shared across a module's files so a member declared in
+/// the .hpp is recognized when the .cpp iterates it (the grep lint was
+/// per-file and missed exactly that).
+std::set<std::string> collect_unordered_vars(
+    const std::vector<TokenFile*>& module_files) {
+  std::set<std::string> vars;
+  for (const TokenFile* f : module_files) {
+    const std::vector<Token>& toks = f->tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != Tok::kIdent || kUnorderedTypes.count(toks[i].text) == 0)
+        continue;
+      if (!is_punct(toks[i + 1], "<")) continue;
+      std::size_t depth = 1;
+      std::size_t k = i + 2;
+      for (; k < toks.size() && depth != 0; ++k) {
+        if (is_punct(toks[k], "<")) ++depth;
+        if (is_punct(toks[k], ">")) --depth;
+      }
+      // Skip refs/cv between the closing `>` and the declared name.
+      while (k < toks.size() &&
+             (is_punct(toks[k], "&") || is_punct(toks[k], "*") ||
+              (toks[k].kind == Tok::kIdent && toks[k].text == "const"))) {
+        ++k;
+      }
+      if (k < toks.size() && toks[k].kind == Tok::kIdent) {
+        const Token* after = at(toks, k + 1);
+        // `(` marks a function returning the container; `::` a nested type.
+        if (after == nullptr ||
+            (!is_punct(*after, "(") && !is_punct(*after, "::"))) {
+          vars.insert(toks[k].text);
+        }
+      }
+    }
+  }
+  return vars;
+}
+
+void check_range_fors(TokenFile& f, const std::set<std::string>& unordered_vars,
+                      Report& rep) {
+  const std::vector<Token>& toks = f.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || toks[i].text != "for") continue;
+    if (!is_punct(toks[i + 1], "(")) continue;
+    // Find the `:` at parenthesis depth 1 (range-for), then the closing `)`.
+    std::size_t depth = 0;
+    std::size_t colon = 0;
+    std::size_t close = 0;
+    for (std::size_t k = i + 1; k < toks.size(); ++k) {
+      if (is_punct(toks[k], "(")) ++depth;
+      if (is_punct(toks[k], ")") && --depth == 0) {
+        close = k;
+        break;
+      }
+      if (is_punct(toks[k], ";") && depth == 1) break;  // classic for
+      if (is_punct(toks[k], ":") && depth == 1 && colon == 0) colon = k;
+    }
+    if (colon == 0 || close == 0) continue;
+    for (std::size_t k = colon + 1; k < close; ++k) {
+      if (toks[k].kind != Tok::kIdent) continue;
+      const bool is_type = kUnorderedTypes.count(toks[k].text) != 0;
+      const bool is_var = unordered_vars.count(toks[k].text) != 0 &&
+                          !(k > 0 && (is_punct(toks[k - 1], ".") ||
+                                      is_punct(toks[k - 1], "->")));
+      if (is_type || (is_var && (at(toks, k + 1) == nullptr ||
+                                 !is_punct(toks[k + 1], "(")))) {
+        rep.add(f, toks[i].line, "determinism-unordered-iter",
+                "range-for over unordered container '" + toks[k].text +
+                    "' in decision module src/" + f.src_module() +
+                    " — iteration order is implementation-defined and would "
+                    "leak into scheduling; iterate a sorted/indexed view");
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void run_determinism(std::vector<TokenFile>& files, Report& rep) {
+  // Module-wide unordered declarations for the range-for rule.
+  std::map<std::string, std::vector<TokenFile*>> decision_files;
+  for (TokenFile& f : files) {
+    const std::string mod = f.src_module();
+    if (kDecisionModules.count(mod) != 0) decision_files[mod].push_back(&f);
+  }
+  std::map<std::string, std::set<std::string>> unordered_vars;
+  for (const auto& [mod, mfiles] : decision_files) {
+    unordered_vars[mod] = collect_unordered_vars(mfiles);
+  }
+
+  for (TokenFile& f : files) {
+    const bool in_src = f.top_dir() == "src";
+    const bool in_sim = f.under("src/sim");
+    const bool in_fault = f.under("src/fault");
+    const bool in_obs = f.under("src/obs");
+    const std::vector<Token>& toks = f.tokens;
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+
+      if (t.kind == Tok::kIncludeAngle) {
+        if (in_fault && t.text == "random") {
+          rep.add(f, t.line, "determinism-fault-stdlib-rng",
+                  "#include <random> in src/fault/ — failure timelines must "
+                  "draw from the per-disk util::Rng streams");
+        }
+        if (in_obs && t.text == "chrono") {
+          rep.add(f, t.line, "determinism-obs-wallclock",
+                  "#include <chrono> in src/obs/ — trace time is the "
+                  "simulated clock passed in by the caller");
+        }
+        continue;
+      }
+      if (t.kind != Tok::kIdent) continue;
+      const Token* nxt = at(toks, i + 1);
+      const Token* nxt2 = at(toks, i + 2);
+
+      // libc RNG / wall-clock seeding -------------------------------------
+      if ((t.text == "rand" || t.text == "random") && nxt != nullptr &&
+          is_punct(*nxt, "(") && nxt2 != nullptr && is_punct(*nxt2, ")") &&
+          is_banned_free_call(toks, i)) {
+        rep.add(f, t.line, "determinism-libc-rand",
+                "libc " + t.text + "() is banned — use util::Rng with an "
+                "explicit seed from ExperimentParams");
+      }
+      if (t.text == "srand" && nxt != nullptr && is_punct(*nxt, "(") &&
+          is_banned_free_call(toks, i)) {
+        rep.add(f, t.line, "determinism-libc-rand",
+                "srand() is banned — seeds flow through ExperimentParams");
+      }
+      if (t.text == "time" && nxt != nullptr && is_punct(*nxt, "(") &&
+          is_banned_free_call(toks, i)) {
+        // Only the libc spellings: time(), time(0), time(NULL/nullptr).
+        const bool empty_call = nxt2 != nullptr && is_punct(*nxt2, ")");
+        const Token* nxt3 = at(toks, i + 3);
+        const bool null_arg =
+            nxt2 != nullptr && nxt3 != nullptr && is_punct(*nxt3, ")") &&
+            (nxt2->kind == Tok::kNumber ||
+             (nxt2->kind == Tok::kIdent &&
+              (nxt2->text == "NULL" || nxt2->text == "nullptr")));
+        if (empty_call || null_arg) {
+          rep.add(f, t.line, "determinism-time-seed",
+                  "wall-clock time() is banned — simulated time comes from "
+                  "sim::Simulator::now(), seeds from ExperimentParams");
+        }
+      }
+      if (t.text == "random_device") {
+        rep.add(f, t.line, "determinism-random-device",
+                "std::random_device defeats seed reproducibility");
+      }
+      if (t.text == "system_clock" && in_src) {
+        rep.add(f, t.line, "determinism-system-clock",
+                "system_clock in library code — steady_clock for spans, "
+                "never any wall clock for decisions");
+      }
+
+      // Module-scoped bans ------------------------------------------------
+      if (in_sim && t.text == "function" && i >= 2 &&
+          is_punct(toks[i - 1], "::") && toks[i - 2].kind == Tok::kIdent &&
+          toks[i - 2].text == "std" && nxt != nullptr && is_punct(*nxt, "<")) {
+        rep.add(f, t.line, "determinism-std-function-sim",
+                "std::function in src/sim/ — use sim::InlineCallback (48B "
+                "SBO; std::function heap-allocates per event)");
+      }
+      if (in_fault &&
+          (kStdlibEngines.count(t.text) != 0 ||
+           (t.text.size() > 13 &&
+            t.text.compare(t.text.size() - 13, 13, "_distribution") == 0))) {
+        rep.add(f, t.line, "determinism-fault-stdlib-rng",
+                "stdlib RNG '" + t.text + "' in src/fault/ — use the seeded "
+                "util::Rng stream for disk k");
+      }
+      if (in_obs) {
+        if (kWallClockIdents.count(t.text) != 0) {
+          rep.add(f, t.line, "determinism-obs-wallclock",
+                  "wall-clock identifier '" + t.text + "' in src/obs/ — "
+                  "recorded time must be the simulated clock");
+        }
+        if (t.text == "time" && nxt != nullptr && is_punct(*nxt, "(") &&
+            i > 0 && !is_punct(toks[i - 1], ".") &&
+            !is_punct(toks[i - 1], "->") &&
+            is_banned_free_call(toks, i)) {
+          rep.add(f, t.line, "determinism-obs-wallclock",
+                  "time() call in src/obs/ — obs has nothing legitimate to "
+                  "time");
+        }
+      }
+    }
+
+    const std::string mod = f.src_module();
+    if (kDecisionModules.count(mod) != 0) {
+      check_range_fors(f, unordered_vars[mod], rep);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hot paths
+
+void run_hotpath(std::vector<TokenFile>& files, const Manifest& m,
+                 Report& rep) {
+  for (const HotPathSpec& hp : m.hotpaths) {
+    TokenFile* file = nullptr;
+    for (TokenFile& f : files) {
+      if (f.path == hp.file) {
+        file = &f;
+        break;
+      }
+    }
+    if (file == nullptr) {
+      rep.add_raw(m.path, hp.line, "hotpath-missing-file",
+                  "[[hotpath]] names " + hp.file +
+                      " which is not in the scanned tree — update the "
+                      "manifest to follow the rename");
+      continue;
+    }
+    const std::vector<Token>& toks = file->tokens;
+    for (const std::string& fn : hp.functions) {
+      const auto bodies = find_function_bodies(*file, fn);
+      if (bodies.empty()) {
+        rep.add_raw(m.path, hp.line, "hotpath-missing-function",
+                    "[[hotpath]] lists " + fn + " but " + hp.file +
+                        " no longer defines it — update the manifest");
+        continue;
+      }
+      for (const auto& [begin, end] : bodies) {
+        for (std::size_t k = begin; k < end; ++k) {
+          const Token& t = toks[k];
+          if (t.kind != Tok::kIdent) continue;
+          if (t.text == "new") {
+            const bool op_new =
+                k > begin && toks[k - 1].kind == Tok::kIdent &&
+                toks[k - 1].text == "operator";
+            const bool placement =
+                k + 1 < end && is_punct(toks[k + 1], "(");
+            if (!op_new && !placement) {
+              rep.add(*file, t.line, "hotpath-heap-alloc",
+                      "heap allocation (new) in hot path " + fn +
+                          " — the kernel contract is allocation-free "
+                          "steady state");
+            }
+          } else if (kAllocCalls.count(t.text) != 0) {
+            rep.add(*file, t.line, "hotpath-heap-alloc",
+                    "allocating call " + t.text + "() in hot path " + fn);
+          } else if (kHeapStdTypes.count(t.text) != 0 && k >= begin + 2 &&
+                     is_punct(toks[k - 1], "::") &&
+                     toks[k - 2].kind == Tok::kIdent &&
+                     toks[k - 2].text == "std") {
+            rep.add(*file, t.line, "hotpath-std-heap-type",
+                    "heap-allocating std::" + t.text + " in hot path " + fn);
+          }
+        }
+      }
+    }
+  }
+
+  for (TokenFile& f : files) {
+    bool banned = false;
+    for (const std::string& p : m.nothrow_paths) {
+      if (f.under(p)) banned = true;
+    }
+    if (!banned) continue;
+    for (const Token& t : f.tokens) {
+      if (t.kind == Tok::kIdent && t.text == "throw") {
+        rep.add(f, t.line, "hotpath-throw",
+                "throw in the event kernel (" + f.path +
+                    ") — kernel errors go through EAS_* contracts, which "
+                    "keep the throw out of line in util/check.hpp");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Contract coverage
+
+namespace {
+
+bool is_mutator_name(const std::string& name) {
+  for (const char* prefix : {"set_", "add_", "insert_", "register_"}) {
+    if (name.rfind(prefix, 0) == 0) return true;
+  }
+  return name == "submit";
+}
+
+/// Only the contract macro families satisfy the rule — EAS_OBS is
+/// instrumentation, not a precondition.
+bool is_contract_macro(const std::string& name) {
+  for (const char* prefix :
+       {"EAS_REQUIRE", "EAS_ENSURE", "EAS_CHECK", "EAS_ASSERT", "EAS_AUDIT",
+        "EAS_DCHECK"}) {
+    if (name.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void run_contracts(std::vector<TokenFile>& files, Report& rep) {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  for (TokenFile& f : files) {
+    if (f.top_dir() != "src") continue;
+    if (f.path.size() < 4 || f.path.compare(f.path.size() - 4, 4, ".cpp") != 0)
+      continue;
+    const std::vector<Token>& toks = f.tokens;
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+      // Out-of-line member definition: Class :: name ( ... ) ... {
+      if (toks[i].kind != Tok::kIdent || !is_punct(toks[i + 1], "::") ||
+          toks[i + 2].kind != Tok::kIdent || !is_punct(toks[i + 3], "(")) {
+        continue;
+      }
+      const std::string& name = toks[i + 2].text;
+      if (!is_mutator_name(name)) continue;
+      const std::size_t begin = body_begin_after_params(toks, i + 3);
+      if (begin == npos) continue;  // declaration or qualified call
+      const std::size_t end = body_end(toks, begin);
+      bool has_contract = false;
+      for (std::size_t k = begin; k < end; ++k) {
+        if (toks[k].kind == Tok::kIdent && is_contract_macro(toks[k].text)) {
+          has_contract = true;
+          break;
+        }
+      }
+      if (!has_contract) {
+        rep.add(f, toks[i + 2].line, "contracts-missing",
+                "public mutator " + toks[i].text + "::" + name +
+                    " has no EAS_REQUIRE/EAS_ENSURE/EAS_ASSERT — state a "
+                    "precondition (or waive with // det-ok: <why none holds>)");
+      }
+    }
+  }
+}
+
+}  // namespace eascheck

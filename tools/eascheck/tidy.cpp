@@ -1,0 +1,172 @@
+// clang-tidy stage: drives the repo's .clang-tidy over the TUs recorded in
+// compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS=ON). Gated like the
+// CMake lint preset: when clang-tidy is not installed the stage is a notice
+// locally, but CI passes --require-tidy, which turns a missing toolchain or
+// database into an environment error (exit 2) instead of a vacuous pass.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eascheck.hpp"
+
+namespace eascheck {
+namespace {
+
+/// Runs `cmd` capturing stdout+stderr; returns false if the process could
+/// not be started. `exit_code` is the process exit status (or -1).
+bool run_capture(const std::string& cmd, std::string& out, int& exit_code) {
+  out.clear();
+  FILE* p = ::popen((cmd + " 2>&1").c_str(), "r");
+  if (p == nullptr) return false;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = ::fread(buf, 1, sizeof buf, p)) > 0) out.append(buf, n);
+  const int status = ::pclose(p);
+  exit_code = status < 0 ? -1 : status;
+  return true;
+}
+
+/// Pulls every "file" value out of compile_commands.json. A full JSON parser
+/// is overkill for a machine-written database: we scan string literals with
+/// escape handling and record the value following a "file" key.
+std::vector<std::string> compile_db_files(const std::string& json) {
+  std::vector<std::string> out;
+  std::string last_string;
+  bool last_was_file_key = false;
+  std::size_t i = 0;
+  while (i < json.size()) {
+    const char c = json[i];
+    if (c == '"') {
+      std::string s;
+      ++i;
+      while (i < json.size() && json[i] != '"') {
+        if (json[i] == '\\' && i + 1 < json.size()) {
+          const char e = json[i + 1];
+          s.push_back(e == 'n' ? '\n' : e == 't' ? '\t' : e);
+          i += 2;
+        } else {
+          s.push_back(json[i]);
+          ++i;
+        }
+      }
+      ++i;  // closing quote
+      if (last_was_file_key) {
+        out.push_back(s);
+        last_was_file_key = false;
+      }
+      last_string = std::move(s);
+      continue;
+    }
+    if (c == ':') {
+      last_was_file_key = last_string == "file";
+    } else if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+      last_was_file_key = false;
+    }
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t run_tidy(const std::string& root,
+                     const std::string& compile_commands, bool required,
+                     bool& env_error) {
+  env_error = false;
+
+  std::string ver;
+  int code = 0;
+  const bool have_tidy =
+      run_capture("clang-tidy --version", ver, code) && code == 0 &&
+      ver.find("LLVM") != std::string::npos;
+  if (!have_tidy) {
+    if (required) {
+      std::cerr << "eascheck: clang-tidy not found but --require-tidy was "
+                   "given\n";
+      env_error = true;
+    } else {
+      std::cout << "eascheck: clang-tidy not installed; tidy stage skipped "
+                   "(install clang-tidy or run in CI, which requires it)\n";
+    }
+    return 0;
+  }
+
+  std::ifstream db(compile_commands, std::ios::binary);
+  if (!db) {
+    if (required) {
+      std::cerr << "eascheck: --require-tidy but " << compile_commands
+                << " is missing — configure with "
+                   "CMAKE_EXPORT_COMPILE_COMMANDS=ON first\n";
+      env_error = true;
+    } else {
+      std::cout << "eascheck: " << compile_commands
+                << " not found; tidy stage skipped (configure a build first)\n";
+    }
+    return 0;
+  }
+  std::stringstream ss;
+  ss << db.rdbuf();
+
+  // Only first-party TUs: the database also lists generated/test-framework
+  // sources in some configurations.
+  std::set<std::string> tus;
+  const std::string prefix = root.empty() || root == "." ? "" : root + "/";
+  for (const std::string& f : compile_db_files(ss.str())) {
+    std::string rel = f;
+    const std::size_t at = f.find("/src/");
+    for (const char* top : {"/src/", "/tests/", "/bench/", "/examples/"}) {
+      const std::size_t p = f.rfind(top);
+      if (p != std::string::npos) {
+        rel = f.substr(p + 1);
+        break;
+      }
+    }
+    (void)at;
+    const std::string top = rel.substr(0, rel.find('/'));
+    if (top == "src" || top == "tests" || top == "bench" || top == "examples") {
+      tus.insert(f);
+    }
+  }
+  if (tus.empty()) {
+    std::cerr << "eascheck: no first-party TUs in " << compile_commands
+              << " — refusing a vacuous tidy pass\n";
+    env_error = true;
+    return 0;
+  }
+
+  std::string build_dir = compile_commands;
+  const std::size_t slash = build_dir.find_last_of('/');
+  build_dir = slash == std::string::npos ? "." : build_dir.substr(0, slash);
+
+  std::ostringstream cmd;
+  cmd << "clang-tidy --quiet -p '" << build_dir << "'";
+  for (const std::string& f : tus) cmd << " '" << f << "'";
+
+  std::string out;
+  if (!run_capture(cmd.str(), out, code)) {
+    std::cerr << "eascheck: failed to launch clang-tidy\n";
+    env_error = true;
+    return 0;
+  }
+  std::size_t findings = 0;
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find(" warning: ") != std::string::npos ||
+        line.find(" error: ") != std::string::npos) {
+      ++findings;
+    }
+  }
+  if (findings > 0 || code != 0) std::cout << out;
+  if (findings == 0 && code != 0) findings = 1;  // crash/parse error gates too
+  std::cout << "eascheck: tidy ran over " << tus.size() << " TUs, "
+            << findings << " finding(s)\n";
+  return findings;
+}
+
+}  // namespace eascheck

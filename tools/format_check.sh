@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# clang-format conformance report over the scanned tree.
+#
+# Report-only by default: prints the files that would be reformatted and
+# always exits 0, so it can run in CI as a non-gating signal while the tree
+# converges. Pass --gate to exit 1 on any diff (the eventual end state).
+#
+# Usage: tools/format_check.sh [--gate] [repo-root]
+# Exit codes: 0 clean (or report-only), 1 diffs found (--gate), 2 env error.
+set -u
+
+gate=0
+if [[ "${1:-}" == "--gate" ]]; then
+  gate=1
+  shift
+fi
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 2
+
+if ! command -v clang-format > /dev/null 2>&1; then
+  echo "format_check: clang-format not installed; skipping (report-only)"
+  exit 0
+fi
+
+# Same scan set as eascheck, minus the deliberately-odd lint fixtures.
+mapfile -t files < <(find src bench examples tests tools/eascheck \
+  \( -name '*.cpp' -o -name '*.hpp' -o -name '*.h' \) \
+  -not -path 'tests/eascheck_fixtures/*' | sort)
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "format_check: no files found — refusing a vacuous pass" >&2
+  exit 2
+fi
+
+dirty=0
+for f in "${files[@]}"; do
+  if ! clang-format --style=file --dry-run --Werror "$f" > /dev/null 2>&1; then
+    echo "format_check: would reformat $f"
+    dirty=$((dirty + 1))
+  fi
+done
+
+echo "format_check: ${#files[@]} files checked, $dirty need formatting"
+if [[ $gate -eq 1 && $dirty -gt 0 ]]; then
+  exit 1
+fi
+exit 0

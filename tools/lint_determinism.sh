@@ -1,126 +1,51 @@
 #!/usr/bin/env bash
-# Determinism lint: the whole repro story rests on bit-identical reruns
-# (same seeds -> same figures, any EAS_THREADS -> same sweep results), so
-# sources of hidden nondeterminism are banned from library code:
+# Determinism lint — thin wrapper over the eascheck analyzer.
 #
-#   * libc rand()/srand()/random() and time()-seeded anything
-#   * std::random_device (non-deterministic by definition)
-#   * argument-less srand() spellings
-#   * range-for iteration over unordered containers inside decision modules
-#     (iteration order is implementation-defined and would leak into
-#     scheduling choices)
+# The original incarnation of this script was ~400 lines of grep patterns.
+# That approach had two real failure modes, both fixed by delegating to the
+# token-accurate analyzer in tools/eascheck/:
 #
-# Wall-clock reads (steady_clock) are fine for *reporting* but never for
-# decisions; they are allowed only outside decision modules or on lines
-# carrying an explicit `// det-ok: <reason>` waiver, which is also the
-# escape hatch for any false positive.
+#   * an unquoted $files expansion word-split every path, so a path with a
+#     space silently truncated the scan list;
+#   * when the file list came up empty (wrong cwd, bad find expression) the
+#     greps matched nothing and the lint reported "clean" — a vacuous pass.
+#     eascheck treats an empty scan as a broken invocation and exits 2.
 #
-# Usage: tools/lint_determinism.sh [repo-root]   (exit 0 = clean)
+# Grep also could not tell `SimTime time()` (a declaration) from libc
+# time(), nor skip banned spellings inside comments and string literals;
+# the lexer-based rules can. The rule set itself is unchanged — see
+# `eascheck --help` and DESIGN.md §11.
+#
+# Usage: tools/lint_determinism.sh [repo-root]
+# Exit codes: 0 clean, 1 findings, 2 environment/usage error.
 set -u
 
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
-cd "$root" || exit 2
+[[ -d "$root" ]] || { echo "lint_determinism: no such root: $root" >&2; exit 2; }
 
-fail=0
-report() { # report <label> <grep-output>
-  local label="$1" hits="$2"
-  if [[ -n "$hits" ]]; then
-    echo "determinism lint: $label"
-    echo "$hits" | sed 's/^/  /'
-    fail=1
+# Prefer a binary from the normal build tree, then a standalone build; only
+# compile one ourselves as a last resort (CI's lint job takes this path —
+# it needs a compiler but not the full GTest toolchain).
+bin=""
+for candidate in "$root/build/tools/eascheck/eascheck" \
+                 "$root/build-eascheck/eascheck"; do
+  if [[ -x "$candidate" ]]; then
+    bin="$candidate"
+    break
   fi
-}
+done
 
-# Library + bench sources. Tests may use whatever they like for inputs, but
-# keeping them deterministic too costs nothing, so they are scanned as well.
-scan_dirs=(src bench examples tests)
-files=$(find "${scan_dirs[@]}" -name '*.cpp' -o -name '*.hpp' -o -name '*.h' 2>/dev/null)
-
-grep_src() { # grep_src <pattern>
-  # shellcheck disable=SC2086
-  grep -nE "$1" $files 2>/dev/null | grep -v 'det-ok:'
-}
-
-report "libc rand()/random() is banned — use util::Rng with an explicit seed" \
-  "$(grep_src '(^|[^_[:alnum:]])(rand|random)[[:space:]]*\(\)')"
-
-report "srand() is banned — seeds flow through ExperimentParams" \
-  "$(grep_src '(^|[^_[:alnum:]])srand[[:space:]]*\(')"
-
-# Member calls (`x.time()`, `p->time()`) are simulated-clock accessors, not
-# libc time(); only the free function is banned.
-report "time()/clock() wall-clock seeding is banned" \
-  "$(grep_src '(^|[^_.>[:alnum:]])time[[:space:]]*\([[:space:]]*(NULL|nullptr|0)?[[:space:]]*\)')"
-
-report "std::random_device is banned — it defeats seed reproducibility" \
-  "$(grep_src 'random_device')"
-
-report "system_clock in library code is banned (steady_clock for spans; never for decisions)" \
-  "$(grep_src 'system_clock' | grep -E '^src/')"
-
-# The event kernel's hot path is allocation-free by contract: callbacks live
-# in sim::InlineCallback's 48-byte buffer, and a std::function would silently
-# reintroduce a heap allocation (and allocator-dependent timing) per event.
-# Type *usage* is matched (`std::function<`), so prose in comments is fine;
-# a deliberate exception still takes a `// det-ok: <reason>` waiver.
-report "std::function in src/sim/ is banned — use sim::InlineCallback (48B SBO)" \
-  "$(grep_src 'std::function<' | grep -E '^src/sim/')"
-
-# Fault injection must draw every random variate from the seeded util::Rng
-# streams (one per disk) or the failure timeline would change across reruns
-# and EAS_THREADS values. Ban <random> engines/distributions outright in
-# src/fault/ — rand()/random_device are already banned globally above.
-fault_files=$(find src/fault -name '*.cpp' -o -name '*.hpp' 2>/dev/null)
-if [[ -n "$fault_files" ]]; then
-  # shellcheck disable=SC2086
-  hits=$(grep -nE 'std::(mt19937|minstd_rand|ranlux|knuth_b|default_random_engine|(uniform|normal|exponential|weibull|gamma|poisson|bernoulli|binomial|geometric|discrete)[a-z_]*_distribution)|#include[[:space:]]*<random>' \
-    $fault_files 2>/dev/null | grep -v 'det-ok:')
-  report "non-seeded/stdlib RNG in src/fault/ is banned — use util::Rng streams keyed off FaultProfile::seed" \
-    "$hits"
+if [[ -z "$bin" ]]; then
+  command -v cmake > /dev/null 2>&1 || {
+    echo "lint_determinism: no eascheck binary and no cmake to build one" >&2
+    exit 2
+  }
+  echo "lint_determinism: building eascheck (one-time standalone build)"
+  cmake -S "$root/tools/eascheck" -B "$root/build-eascheck" \
+        -DCMAKE_BUILD_TYPE=Release > /dev/null || exit 2
+  cmake --build "$root/build-eascheck" -j > /dev/null || exit 2
+  bin="$root/build-eascheck/eascheck"
+  [[ -x "$bin" ]] || { echo "lint_determinism: build produced no binary" >&2; exit 2; }
 fi
 
-# The observability layer records *simulated* time only: every TraceEvent
-# timestamp is passed in by the caller from sim::Simulator::now(), which is
-# what makes a recorded trace bit-reproducible across reruns and thread
-# counts. Any wall-clock read in src/obs/ would silently break that, so
-# <chrono> and the OS clock syscalls are banned there outright (no
-# reporting exemption — obs has nothing legitimate to time).
-obs_files=$(find src/obs -name '*.cpp' -o -name '*.hpp' 2>/dev/null)
-if [[ -n "$obs_files" ]]; then
-  # shellcheck disable=SC2086
-  hits=$(grep -nE '#include[[:space:]]*<chrono>|std::chrono|steady_clock|system_clock|high_resolution_clock|gettimeofday|clock_gettime|time\(' \
-    $obs_files 2>/dev/null | grep -v 'det-ok:')
-  report "wall-clock read in src/obs/ is banned — trace time is the simulated clock" \
-    "$hits"
-fi
-
-# Unordered-container iteration inside decision modules: any range-for whose
-# range expression names an unordered container, in the modules that make
-# scheduling/power/placement decisions. The fault module decides failure
-# timelines and rebuild targets, so it is held to the same bar.
-decision_files=$(find src/core src/power src/graph src/placement src/runner src/fault \
-  -name '*.cpp' -o -name '*.hpp' 2>/dev/null)
-if [[ -n "$decision_files" ]]; then
-  # shellcheck disable=SC2086
-  hits=$(grep -nE 'for[[:space:]]*\(.*:[^:)]*unordered' $decision_files 2>/dev/null \
-    | grep -v 'det-ok:')
-  report "range-for over an unordered container in a decision module (order feeds scheduling)" \
-    "$hits"
-  # Also catch iteration over locals *declared* unordered earlier in the file:
-  # any file that both declares an unordered container variable and range-fors
-  # over that variable name.
-  for f in $decision_files; do
-    vars=$(grep -oE 'unordered_(map|set|multimap|multiset)<[^;]*>[[:space:]]+[a-zA-Z_][a-zA-Z0-9_]*' "$f" 2>/dev/null \
-      | sed -E 's/.*>[[:space:]]+([a-zA-Z_][a-zA-Z0-9_]*)$/\1/' | sort -u)
-    for v in $vars; do
-      hits=$(grep -nE "for[[:space:]]*\(.*:[[:space:]]*${v}[[:space:]]*\)" "$f" | grep -v 'det-ok:')
-      [[ -n "$hits" ]] && report "range-for over unordered container '$v' in $f" \
-        "$(echo "$hits" | sed "s|^|$f:|")"
-    done
-  done
-fi
-
-if [[ $fail -eq 0 ]]; then
-  echo "determinism lint: clean"
-fi
-exit $fail
+exec "$bin" --root "$root" --rules determinism
