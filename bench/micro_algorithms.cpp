@@ -2,6 +2,9 @@
 // construction, Zipf sampling).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <utility>
+
 #include "core/conflict_graph.hpp"
 #include "graph/mwis.hpp"
 #include "graph/set_cover.hpp"
@@ -44,23 +47,67 @@ void BM_GreedySetCover(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedySetCover)->Arg(64)->Arg(512)->Arg(4096);
 
-void BM_GwminExplicit(benchmark::State& state) {
-  util::Rng rng(7);
-  const auto n = static_cast<std::size_t>(state.range(0));
-  std::vector<double> weights;
+/// Random edge list with expected average degree 8 (weights via `rng` too).
+std::vector<std::pair<std::size_t, std::size_t>> random_edges(
+    std::size_t n, util::Rng& rng, std::vector<double>& weights) {
+  weights.clear();
   for (std::size_t v = 0; v < n; ++v) weights.push_back(rng.uniform(1, 10));
-  graph::WeightedGraph g(std::move(weights));
   const double density = 8.0 / static_cast<double>(n);  // avg degree ~8
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
   for (std::size_t u = 0; u < n; ++u) {
     for (std::size_t v = u + 1; v < n; ++v) {
-      if (rng.bernoulli(density)) g.add_edge(u, v);
+      if (rng.bernoulli(density)) edges.emplace_back(u, v);
     }
   }
+  return edges;
+}
+
+graph::WeightedGraph random_graph(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> weights;
+  const auto edges = random_edges(n, rng, weights);
+  graph::WeightedGraphBuilder b(std::move(weights));
+  for (const auto& [u, v] : edges) b.add_edge(u, v);
+  return b.build();
+}
+
+void BM_GwminExplicit(benchmark::State& state) {
+  const auto g = random_graph(static_cast<std::size_t>(state.range(0)), 7);
   for (auto _ : state) {
     benchmark::DoNotOptimize(graph::gwmin(g));
   }
 }
 BENCHMARK(BM_GwminExplicit)->Arg(256)->Arg(1024);
+
+/// CSR construction from a pre-generated edge list: items/sec should stay
+/// flat as n grows (linear counting-sort build — the old representation's
+/// per-insertion O(deg) duplicate probe made this superlinear).
+void BM_WeightedGraphBuild(benchmark::State& state) {
+  util::Rng rng(7);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> weights;
+  for (std::size_t v = 0; v < n; ++v) weights.push_back(rng.uniform(1, 10));
+  // ~4n distinct edges sampled directly (a density sweep would be O(n^2)).
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t e = 0; e < 4 * n; ++e) {
+    const auto u = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const auto v = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    if (u < v) edges.emplace_back(u, v);
+    if (v < u) edges.emplace_back(v, u);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  for (auto _ : state) {
+    graph::WeightedGraphBuilder b(weights);
+    for (const auto& [u, v] : edges) b.add_edge(u, v);
+    benchmark::DoNotOptimize(b.build());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(edges.size()));
+}
+BENCHMARK(BM_WeightedGraphBuild)->Arg(1024)->Arg(8192)->Arg(65536);
 
 void BM_ConflictGraphBuild(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -4,38 +4,39 @@
 
 #include "core/energy_model.hpp"
 #include "util/check.hpp"
+#include "util/epoch_marker.hpp"
 
 namespace eas::core {
 
 double ConflictGraph::selection_weight(
     const std::vector<std::uint32_t>& selected) const {
-  std::vector<bool> in(nodes.size(), false);
+  thread_local util::EpochMarker in;
+  in.begin(nodes.size());
   double total = 0.0;
   for (std::uint32_t v : selected) {
     EAS_REQUIRE_MSG(v < nodes.size(), "selected node out of range");
-    EAS_REQUIRE_MSG(!in[v], "node " << v << " selected twice");
-    in[v] = true;
+    EAS_REQUIRE_MSG(!in.marked(v), "node " << v << " selected twice");
+    in.mark(v);
     total += nodes[v].weight;
   }
   for (std::uint32_t v : selected) {
     for (std::uint32_t u : neighbors(v)) {
-      EAS_REQUIRE_MSG(!in[u], "selection is not independent: " << v << " ~ " << u);
+      EAS_REQUIRE_MSG(!in.marked(u),
+                      "selection is not independent: " << v << " ~ " << u);
     }
   }
   return total;
 }
 
 graph::WeightedGraph ConflictGraph::to_weighted_graph() const {
+  // Hand the existing CSR straight to the graph layer — no per-vertex
+  // vector round-trip, no re-insertion of m edges through a builder. The
+  // WeightedGraph constructor audits the structure in bulk under
+  // EASCHED_AUDIT.
   std::vector<double> weights;
   weights.reserve(nodes.size());
   for (const auto& n : nodes) weights.push_back(n.weight);
-  graph::WeightedGraph g(std::move(weights));
-  for (std::uint32_t v = 0; v < nodes.size(); ++v) {
-    for (std::uint32_t u : neighbors(v)) {
-      if (v < u) g.add_edge(v, u);
-    }
-  }
-  return g;
+  return graph::WeightedGraph(std::move(weights), adj_offsets, adj_data);
 }
 
 namespace {
@@ -156,6 +157,74 @@ ConflictGraph build_conflict_graph(const trace::Trace& trace,
   return g;
 }
 
+namespace {
+
+/// Hot selection loop ([[hotpath]]: no allocation, no throw). Pops the
+/// (score, highest-id) maximum — the exact order the historical lazy
+/// pair-heap produced, since a live node's freshest entry always dominated
+/// its stale ones — deletes its closed neighbourhood from the heap, then
+/// re-keys each survivor adjacent to a kill. Heap membership doubles as the
+/// alive set; the two-phase kill keeps the historical update order: all of
+/// N[v] leaves the heap before any survivor is re-scored, and degree /
+/// nbr_weight decrements land in the same doomed-major, CSR-minor order as
+/// before, so every score is the bit-identical double.
+void gwmin_select_loop(const ConflictGraph& g, bool use_gwmin2,
+                       GwminWorkspace& ws,
+                       std::vector<std::uint32_t>& selected) {
+  auto& heap = ws.heap;
+  auto& doomed = ws.doomed;
+  auto& degree = ws.degree;
+  const auto& weight = ws.weight;
+  auto& nbr_weight = ws.nbr_weight;
+  auto& touch_list = ws.touch_list;
+  while (!heap.empty()) {
+    const auto top = heap.top();
+    heap.pop_top();
+    selected.push_back(top.v);
+
+    doomed.clear();
+    doomed.push_back(top.v);
+    for (const std::uint32_t u : g.neighbors(top.v)) {
+      if (heap.contains(u)) {
+        heap.remove(u);
+        doomed.push_back(u);
+      }
+    }
+    // Apply every degree / nbr_weight decrement first (same doomed-major,
+    // CSR-minor order as always — the nbr_weight rounding sequence is
+    // pinned), then re-key each touched survivor once with its final
+    // post-round score. A survivor adjacent to several kills would
+    // otherwise pay one sift-up per kill for intermediate keys nothing
+    // ever reads.
+    ws.touched.begin(g.size());
+    touch_list.clear();
+    for (const std::uint32_t u : doomed) {
+      const double uw = weight[u];
+      for (const std::uint32_t w : g.neighbors(u)) {
+        if (!heap.contains(w)) continue;
+        --degree[w];
+        if (use_gwmin2) nbr_weight[w] -= uw;
+        if (!ws.touched.marked(w)) {
+          ws.touched.mark(w);
+          touch_list.push_back(w);
+        }
+      }
+    }
+    for (const std::uint32_t w : touch_list) {
+      double s;
+      if (use_gwmin2) {
+        const double denom = weight[w] + nbr_weight[w];
+        s = denom == 0.0 ? 1.0 : weight[w] / denom;
+      } else {
+        s = weight[w] / static_cast<double>(degree[w] + 1);
+      }
+      heap.increase(w, s);
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<std::uint32_t> solve_gwmin(const ConflictGraph& g,
                                        bool use_gwmin2) {
   GwminWorkspace ws;
@@ -164,71 +233,43 @@ std::vector<std::uint32_t> solve_gwmin(const ConflictGraph& g,
 
 std::vector<std::uint32_t> solve_gwmin(const ConflictGraph& g, bool use_gwmin2,
                                        GwminWorkspace& ws) {
-  const std::size_t n = g.size();
-  ws.alive.assign(n, 1);
-  auto& alive = ws.alive;
+  std::vector<std::uint32_t> selected;
+  solve_gwmin(g, use_gwmin2, ws, selected);
+  return selected;
+}
+
+void solve_gwmin(const ConflictGraph& g, bool use_gwmin2, GwminWorkspace& ws,
+                 std::vector<std::uint32_t>& selected) {
+  selected.clear();
+  const auto n = static_cast<std::uint32_t>(g.size());
   ws.degree.resize(n);
+  ws.weight.resize(n);
   auto& degree = ws.degree;
+  auto& weight = ws.weight;
   auto& nbr_weight = ws.nbr_weight;
+  for (std::uint32_t v = 0; v < n; ++v) weight[v] = g.nodes[v].weight;
   if (use_gwmin2) nbr_weight.assign(n, 0.0);
+  std::size_t max_deg = 0;
   for (std::uint32_t v = 0; v < n; ++v) {
     degree[v] = static_cast<std::uint32_t>(g.degree(v));
+    max_deg = std::max(max_deg, g.degree(v));
     if (use_gwmin2) {
-      for (std::uint32_t u : g.neighbors(v)) nbr_weight[v] += g.nodes[u].weight;
+      for (std::uint32_t u : g.neighbors(v)) nbr_weight[v] += weight[u];
     }
   }
+  ws.doomed.clear();
+  ws.doomed.reserve(max_deg + 1);
 
-  auto score = [&](std::uint32_t v) {
+  ws.heap.assign(n, [&](std::uint32_t v) {
     if (use_gwmin2) {
-      const double denom = g.nodes[v].weight + nbr_weight[v];
-      return denom == 0.0 ? 1.0 : g.nodes[v].weight / denom;
+      const double denom = weight[v] + nbr_weight[v];
+      return denom == 0.0 ? 1.0 : weight[v] / denom;
     }
-    return g.nodes[v].weight / static_cast<double>(degree[v] + 1);
-  };
+    return weight[v] / static_cast<double>(degree[v] + 1);
+  });
 
-  // Lazy max-heap: scores only grow as neighbours die, and every growth
-  // pushes a fresh entry, so an alive node popped from the top always
-  // carries its current (maximal) score. (score, node) keys are totally
-  // ordered, so the workspace heap pops in exactly the order the previous
-  // std::priority_queue did.
-  auto& heap = ws.heap;
-  heap.clear();
-  for (std::uint32_t v = 0; v < n; ++v) heap.emplace_back(score(v), v);
-  std::make_heap(heap.begin(), heap.end());
-
-  std::vector<std::uint32_t> selected;
-  auto& doomed = ws.doomed;
-  while (!heap.empty()) {
-    std::pop_heap(heap.begin(), heap.end());
-    const auto [s, v] = heap.back();
-    heap.pop_back();
-    if (!alive[v]) continue;
-    selected.push_back(v);
-
-    // Remove the closed neighbourhood N[v] in two phases: mark everything
-    // dead first so that survivor updates are only pushed for nodes that
-    // actually remain in the graph.
-    doomed.clear();
-    doomed.push_back(v);
-    alive[v] = 0;
-    for (std::uint32_t u : g.neighbors(v)) {
-      if (alive[u]) {
-        alive[u] = 0;
-        doomed.push_back(u);
-      }
-    }
-    for (std::uint32_t u : doomed) {
-      for (std::uint32_t w : g.neighbors(u)) {
-        if (!alive[w]) continue;
-        --degree[w];
-        if (use_gwmin2) nbr_weight[w] -= g.nodes[u].weight;
-        heap.emplace_back(score(w), w);
-        std::push_heap(heap.begin(), heap.end());
-      }
-    }
-  }
+  gwmin_select_loop(g, use_gwmin2, ws, selected);
   std::sort(selected.begin(), selected.end());
-  return selected;
 }
 
 }  // namespace eas::core

@@ -27,6 +27,7 @@
 #include "graph/mwis.hpp"
 #include "placement/placement.hpp"
 #include "trace/trace.hpp"
+#include "util/epoch_marker.hpp"
 #include "util/ids.hpp"
 
 namespace eas::core {
@@ -99,19 +100,29 @@ ConflictGraph build_conflict_graph(const trace::Trace& trace,
                                    const ConflictGraphOptions& options,
                                    ConflictGraphWorkspace& ws);
 
-/// Reusable scratch for solve_gwmin (alive marks, incremental degrees,
-/// neighbourhood weights, the score heap, and the per-selection doomed
-/// list).
+/// Reusable scratch for solve_gwmin (the indexed selection heap,
+/// incremental degrees, neighbourhood weights, and the per-selection doomed
+/// list). Liveness is the heap's membership set — no separate alive array.
 struct GwminWorkspace {
-  std::vector<char> alive;
+  graph::IndexedScoreHeap<graph::TieOrder::kHighIndexWins> heap;
   std::vector<std::uint32_t> degree;
+  /// nodes[v].weight copied dense: the select loop indexes weights at
+  /// random, and an 8-byte-stride array stays cache-resident where the
+  /// 24-byte SavingNode array does not. Same doubles, same rounding.
+  std::vector<double> weight;
   std::vector<double> nbr_weight;
-  std::vector<std::pair<double, std::uint32_t>> heap;
   std::vector<std::uint32_t> doomed;
+  /// Survivors adjacent to this round's kills, deduplicated — each gets one
+  /// heap re-key with its final post-round score.
+  util::EpochMarker touched;
+  std::vector<std::uint32_t> touch_list;
 };
 
-/// Scalable GWMIN/GWMIN2 over a ConflictGraph: lazy max-heap keyed by the
-/// greedy score, degrees maintained incrementally, O((V+E) log V).
+/// Scalable GWMIN/GWMIN2 over a ConflictGraph: indexed max-heap keyed by
+/// (score, node id), degrees and neighbourhood weights maintained
+/// incrementally, O((V+E) log V) with no tombstone traffic. Selection order
+/// (including the higher-id tie-break the historical lazy pair-heap had) is
+/// pinned by the sweep fingerprints and test_graph_diff.
 /// Returns selected node ids.
 std::vector<std::uint32_t> solve_gwmin(const ConflictGraph& g,
                                        bool use_gwmin2 = false);
@@ -120,5 +131,11 @@ std::vector<std::uint32_t> solve_gwmin(const ConflictGraph& g,
 /// beyond the returned selection).
 std::vector<std::uint32_t> solve_gwmin(const ConflictGraph& g, bool use_gwmin2,
                                        GwminWorkspace& ws);
+
+/// Out-parameter form: with a warmed workspace and a reused `selected`
+/// buffer, a solve performs no heap allocation at all (pinned by the
+/// counting-allocator test in test_graph_diff).
+void solve_gwmin(const ConflictGraph& g, bool use_gwmin2, GwminWorkspace& ws,
+                 std::vector<std::uint32_t>& selected);
 
 }  // namespace eas::core

@@ -81,13 +81,14 @@ OfflineAssignment MwisOfflineScheduler::schedule(
     last_nodes_ = graph.size();
     last_edges_ = graph.num_edges();
 
-    std::vector<std::uint32_t> selected;
+    std::vector<std::uint32_t>& selected = selected_;
+    selected.clear();
     switch (options_.algorithm) {
       case MwisOptions::Algorithm::kGwmin:
-        selected = solve_gwmin(graph, /*use_gwmin2=*/false, gwmin_ws_);
+        solve_gwmin(graph, /*use_gwmin2=*/false, gwmin_ws_, selected);
         break;
       case MwisOptions::Algorithm::kGwmin2:
-        selected = solve_gwmin(graph, /*use_gwmin2=*/true, gwmin_ws_);
+        solve_gwmin(graph, /*use_gwmin2=*/true, gwmin_ws_, selected);
         break;
       case MwisOptions::Algorithm::kExact: {
         const auto wg = graph.to_weighted_graph();
@@ -132,10 +133,12 @@ OfflineAssignment MwisOfflineScheduler::schedule(
 
   // --- kBest: keep whichever refined seed costs less (Lemma 1) ------------
   const double solver_energy =
-      evaluate_offline(trace, solver_seed, placement.num_disks(), power)
+      evaluate_offline(trace, solver_seed, placement.num_disks(), power,
+                       eval_ws_)
           .total_energy();
   const double pile_energy =
-      evaluate_offline(trace, pile_seed, placement.num_disks(), power)
+      evaluate_offline(trace, pile_seed, placement.num_disks(), power,
+                       eval_ws_)
           .total_energy();
   if (pile_energy < solver_energy) {
     last_used_pile_ = true;

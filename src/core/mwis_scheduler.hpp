@@ -10,7 +10,11 @@
 // branch-and-bound for small instances.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "core/conflict_graph.hpp"
+#include "core/offline_eval.hpp"
 #include "core/scheduler.hpp"
 
 namespace eas::core {
@@ -69,6 +73,8 @@ class MwisOfflineScheduler final : public OfflineScheduler {
   /// runs many traces in an ablation loop).
   ConflictGraphWorkspace graph_ws_;
   GwminWorkspace gwmin_ws_;
+  std::vector<std::uint32_t> selected_;
+  OfflineEvalWorkspace eval_ws_;
 };
 
 }  // namespace eas::core

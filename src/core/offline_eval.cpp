@@ -58,6 +58,15 @@ OfflineReport evaluate_offline(const trace::Trace& trace,
                                DiskId num_disks,
                                const disk::DiskPowerParams& power,
                                double horizon) {
+  OfflineEvalWorkspace ws;
+  return evaluate_offline(trace, assignment, num_disks, power, ws, horizon);
+}
+
+OfflineReport evaluate_offline(const trace::Trace& trace,
+                               const OfflineAssignment& assignment,
+                               DiskId num_disks,
+                               const disk::DiskPowerParams& power,
+                               OfflineEvalWorkspace& ws, double horizon) {
   EAS_REQUIRE(assignment.disk_of_request.size() == trace.size());
   power.validate();
   const double t_b = power.breakeven_seconds();
@@ -74,8 +83,11 @@ OfflineReport evaluate_offline(const trace::Trace& trace,
   report.disk_stats.assign(num_disks, {});
   report.request_energy.assign(trace.size(), 0.0);
 
-  // Group request indices per disk (trace order == time order).
-  std::vector<std::vector<std::uint32_t>> per_disk(num_disks);
+  // Group request indices per disk (trace order == time order), reusing the
+  // workspace buckets' capacity across evaluations.
+  auto& per_disk = ws.per_disk;
+  if (per_disk.size() < num_disks) per_disk.resize(num_disks);
+  for (auto& bucket : per_disk) bucket.clear();
   for (std::uint32_t r = 0; r < trace.size(); ++r) {
     const DiskId k = assignment.disk_of_request[r];
     EAS_REQUIRE_MSG(k < num_disks, "assignment names unknown disk " << k);

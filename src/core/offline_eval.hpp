@@ -15,6 +15,7 @@
 //    at t=0 regardless).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/scheduler.hpp"
@@ -36,6 +37,14 @@ struct OfflineReport {
   double always_on_energy(const disk::DiskPowerParams& p) const;
 };
 
+/// Reusable scratch for evaluate_offline: the per-disk request buckets
+/// dominate its transient allocations, and schedulers evaluating candidate
+/// assignments in a loop (the kBest seed comparison, ablation sweeps) reuse
+/// them at high-water capacity.
+struct OfflineEvalWorkspace {
+  std::vector<std::vector<std::uint32_t>> per_disk;
+};
+
 /// Evaluates `assignment` analytically. `horizon` < 0 selects the natural
 /// horizon: last arrival + T_B + T_down (every disk settled back to
 /// standby).
@@ -43,6 +52,14 @@ OfflineReport evaluate_offline(const trace::Trace& trace,
                                const OfflineAssignment& assignment,
                                DiskId num_disks,
                                const disk::DiskPowerParams& power,
+                               double horizon = -1.0);
+
+/// As above, reusing `ws` buffers across calls.
+OfflineReport evaluate_offline(const trace::Trace& trace,
+                               const OfflineAssignment& assignment,
+                               DiskId num_disks,
+                               const disk::DiskPowerParams& power,
+                               OfflineEvalWorkspace& ws,
                                double horizon = -1.0);
 
 }  // namespace eas::core

@@ -10,32 +10,57 @@
 //  * exact_mwis — branch-and-bound for optimality-gap ablations on small
 //              instances.
 //
+// gwmin/gwmin2 select through an indexed 8-ary heap (indexed_heap.hpp) in
+// O((n+m) log n); `gwmin_reference`/`gwmin2_reference` retain the original
+// O(n·k) linear-scan greedies as executable specifications, and
+// tests/test_graph_diff.cpp proves the two produce *identical* vertex sets
+// (the heap's (score, lowest-index) tie-break replicates the scan exactly).
+//
 // The scheduling-specific *implicit* conflict graph (which never
 // materialises its O(n²) edges) lives in core/mwis_scheduler; the explicit
 // algorithms here are the reference implementations it is tested against.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
+
+#include "graph/indexed_heap.hpp"
+#include "util/epoch_marker.hpp"
 
 namespace eas::graph {
 
-/// Undirected vertex-weighted graph, adjacency-list representation.
-/// Vertices are 0..n-1; parallel edges and self-loops are rejected.
+/// Undirected vertex-weighted graph, immutable CSR adjacency (offsets into
+/// one flat neighbour array). Vertices are 0..n-1. Build one with
+/// WeightedGraphBuilder (edge list → counting sort, one pass) or adopt a
+/// prebuilt CSR (core::ConflictGraph::to_weighted_graph does). Structural
+/// invariants — symmetry, no parallel edges, no self-loops — are validated
+/// in bulk at construction under the audit tier, not probed per insertion.
 class WeightedGraph {
  public:
+  /// Edge-less graph of isolated weighted vertices.
   explicit WeightedGraph(std::vector<double> weights);
+
+  /// Adopts a CSR adjacency: neighbours of v are adj[offsets[v] ..
+  /// offsets[v+1]). Shape errors (offsets/adj size mismatch) throw always;
+  /// the O(n+m) structural audit (range, self-loops, duplicates, symmetry)
+  /// runs under EASCHED_AUDIT / Debug.
+  WeightedGraph(std::vector<double> weights, std::vector<std::size_t> offsets,
+                std::vector<std::uint32_t> adj);
 
   std::size_t size() const { return weights_.size(); }
   double weight(std::size_t v) const { return weights_[v]; }
-  const std::vector<std::size_t>& neighbors(std::size_t v) const {
-    return adj_[v];
+  std::span<const std::uint32_t> neighbors(std::size_t v) const {
+    return {adj_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
   }
-  std::size_t degree(std::size_t v) const { return adj_[v].size(); }
-  std::size_t num_edges() const { return num_edges_; }
+  std::size_t degree(std::size_t v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+  std::size_t num_edges() const { return adj_.size() / 2; }
 
-  /// Adds an undirected edge; duplicate edges are invariant violations.
-  void add_edge(std::size_t u, std::size_t v);
+  /// O(min(deg(u), deg(v))) CSR row probe (tests and audits only — not a
+  /// hot-path operation on this representation).
   bool has_edge(std::size_t u, std::size_t v) const;
 
   bool is_independent(const std::vector<std::size_t>& vertices) const;
@@ -43,8 +68,29 @@ class WeightedGraph {
 
  private:
   std::vector<double> weights_;
-  std::vector<std::vector<std::size_t>> adj_;
-  std::size_t num_edges_ = 0;
+  std::vector<std::size_t> offsets_;
+  std::vector<std::uint32_t> adj_;
+};
+
+/// Accumulates an edge list in O(1) per edge and builds the CSR in one
+/// counting-sort pass. Range and self-loop violations throw at add_edge
+/// (O(1) checks); duplicate-edge detection is part of build()'s bulk audit —
+/// the per-insertion O(deg) membership probe the old adjacency-list
+/// representation paid (quadratic on dense rows, and in Release) is gone.
+class WeightedGraphBuilder {
+ public:
+  explicit WeightedGraphBuilder(std::vector<double> weights);
+
+  void add_edge(std::size_t u, std::size_t v);
+  std::size_t num_edges() const { return edges_.size(); }
+  std::size_t size() const { return weights_.size(); }
+
+  /// Builds the CSR graph. The builder is left empty (weights moved out).
+  WeightedGraph build();
+
+ private:
+  std::vector<double> weights_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
 };
 
 struct MwisSolution {
@@ -59,14 +105,44 @@ struct MwisSolution {
 void check_independent(const WeightedGraph& g,
                        const std::vector<std::size_t>& vertices);
 
+/// Reusable scratch for the heap-driven gwmin/gwmin2: the selection heap,
+/// incremental alive-degrees, and the per-selection doomed list. Callers
+/// solving a stream of instances keep one alive so steady-state solves are
+/// allocation-free beyond the returned solution.
+struct MwisWorkspace {
+  IndexedScoreHeap<TieOrder::kLowIndexWins> heap;
+  std::vector<std::uint32_t> degree;
+  std::vector<std::uint32_t> doomed;
+  /// Survivors adjacent to this round's kills, deduplicated — each gets one
+  /// heap re-key with its final post-round score.
+  util::EpochMarker touched;
+  std::vector<std::uint32_t> touch_list;
+};
+
 /// GWMIN of Sakai et al. [22]: take v maximising w(v)/(d(v)+1) among the
 /// surviving vertices, add it, delete N[v]; repeat. Guarantees total weight
-/// >= sum_v w(v)/(d(v)+1).
+/// >= sum_v w(v)/(d(v)+1). Heap-driven O((n+m) log n); selections
+/// (including score ties, broken toward the lowest vertex index) are
+/// identical to gwmin_reference.
 MwisSolution gwmin(const WeightedGraph& g);
+MwisSolution gwmin(const WeightedGraph& g, MwisWorkspace& ws);
+/// Out-parameter form: with a warmed workspace and a reused `out`, a solve
+/// performs no heap allocation at all (pinned by the counting-allocator
+/// test in test_graph_diff).
+void gwmin(const WeightedGraph& g, MwisWorkspace& ws, MwisSolution& out);
 
 /// GWMIN2 of Sakai et al.: take v maximising w(v) / (w(v) + sum of N(v)
-/// weights); stronger when weights are highly skewed.
+/// weights); stronger when weights are highly skewed. Same heap engine and
+/// tie-break contract as gwmin.
 MwisSolution gwmin2(const WeightedGraph& g);
+MwisSolution gwmin2(const WeightedGraph& g, MwisWorkspace& ws);
+void gwmin2(const WeightedGraph& g, MwisWorkspace& ws, MwisSolution& out);
+
+/// The original linear-scan greedies, retained verbatim as the executable
+/// specification the heap solvers are differentially tested against
+/// (test_graph_diff). O(n·k): rescans every survivor per selection.
+MwisSolution gwmin_reference(const WeightedGraph& g);
+MwisSolution gwmin2_reference(const WeightedGraph& g);
 
 /// Exact MWIS via branch-and-bound (branch on max-degree vertex; bound by
 /// the remaining weight sum). Exponential worst case; `max_vertices` guards

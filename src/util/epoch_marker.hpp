@@ -1,0 +1,44 @@
+// Epoch-stamped membership marker: a reusable "visited" set over dense ids.
+//
+// The naive pattern — `std::vector<bool> seen(n)` per call — costs one heap
+// allocation plus an O(n) clear every invocation, which dominates callers
+// that probe small subsets of large id spaces on hot paths (independence
+// checks, cover audits, selection-weight validation). EpochMarker amortises
+// both: marks are stamped with the current epoch, and `begin()` invalidates
+// every previous mark by bumping the epoch — O(1) except on first growth or
+// on the (once per 2^32 calls) wrap-around refill.
+//
+// Not thread-safe; intended either as a member of a single-threaded solver
+// workspace or as a function-local `thread_local`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace eas::util {
+
+class EpochMarker {
+ public:
+  /// Starts a fresh epoch covering ids [0, n): every id reads unmarked.
+  void begin(std::size_t n) {
+    if (stamp_.size() < n) stamp_.resize(n, 0);
+    ++epoch_;
+    if (epoch_ == 0) {  // wrapped: stale stamps could collide — refill
+      stamp_.assign(stamp_.size(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  void mark(std::size_t id) { stamp_[id] = epoch_; }
+  bool marked(std::size_t id) const { return stamp_[id] == epoch_; }
+
+  /// Ids currently addressable (diagnostic; begin() grows on demand).
+  std::size_t capacity() const { return stamp_.size(); }
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace eas::util

@@ -184,15 +184,17 @@ TEST(CoverContracts, InfeasibleInstanceIsRejectedUpFront) {
 // --- MWIS independence ------------------------------------------------------
 
 TEST(MwisContracts, IndependentSolutionPasses) {
-  graph::WeightedGraph g({1.0, 2.0, 3.0});
-  g.add_edge(0, 1);
+  graph::WeightedGraphBuilder b({1.0, 2.0, 3.0});
+  b.add_edge(0, 1);
+  const auto g = b.build();
   EXPECT_NO_THROW(graph::check_independent(g, {0, 2}));
 }
 
 TEST(MwisContracts, DependentPairTripsNamingTheEdge) {
-  graph::WeightedGraph g({1.0, 2.0, 3.0});
-  g.add_edge(0, 1);
-  g.add_edge(1, 2);
+  graph::WeightedGraphBuilder b({1.0, 2.0, 3.0});
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const auto g = b.build();
   expect_contract_failure(
       [&] { graph::check_independent(g, {0, 1}); },
       {"postcondition violated", "not independent",
@@ -210,8 +212,9 @@ TEST(MwisContracts, DuplicateAndOutOfRangeVerticesTrip) {
 TEST(MwisContracts, SolversProduceContractCleanSolutions) {
   // A 5-cycle with skewed weights: greedy and exact must both satisfy the
   // independence contract they are audited against.
-  graph::WeightedGraph g({5.0, 1.0, 4.0, 2.0, 3.0});
-  for (std::size_t v = 0; v < 5; ++v) g.add_edge(v, (v + 1) % 5);
+  graph::WeightedGraphBuilder b({5.0, 1.0, 4.0, 2.0, 3.0});
+  for (std::size_t v = 0; v < 5; ++v) b.add_edge(v, (v + 1) % 5);
+  const auto g = b.build();
   for (const auto& sol :
        {graph::gwmin(g), graph::gwmin2(g), graph::exact_mwis(g)}) {
     EXPECT_NO_THROW(graph::check_independent(g, sol.vertices));

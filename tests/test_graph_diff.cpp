@@ -1,0 +1,431 @@
+// Differential suite for the heap-driven solvers (PR "CSR graphs +
+// heap-driven GWMIN/set-cover").
+//
+// The indexed-heap GWMIN/GWMIN2 and the lazy-heap set cover each promise to
+// reproduce their retained linear-scan reference *exactly* — same vertex
+// sets, same selection-order weight accumulation, bit for bit — because the
+// scheduling pipeline's determinism gates (sweep fingerprints, emitter
+// goldens) pin the historical outputs. This binary proves the promise on
+// ~200 seeded random graphs plus adversarial-tie families (quantised and
+// unit weights make equal scores common, exercising the index tie-break),
+// a 10k-node smoke (which the ASan preset re-runs), and replays
+// core::solve_gwmin against an in-test linear-scan replica of its
+// historical higher-index tie-break semantics.
+//
+// It also replaces global operator new with a counting shim (same pattern
+// as test_sim_alloc — the shim lives in this dedicated binary) to pin the
+// zero-allocation contract of warm-workspace solves.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "core/conflict_graph.hpp"
+#include "graph/mwis.hpp"
+#include "graph/set_cover.hpp"
+#include "placement/placement.hpp"
+#include "trace/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_news{0};
+}  // namespace
+
+// GCC's inliner pairs the shim's pass-through free() against allocations it
+// attributes to a non-malloc operator new and warns; the pairing is exact by
+// construction (every new here funnels through malloc).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t n) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+// The nothrow forms must funnel through the same malloc, or a
+// stable_sort temporary buffer (allocated nothrow) reaches the
+// pass-through free() from a foreign allocator — ASan flags the mismatch.
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace eas {
+namespace {
+
+/// Allocations observed while running `body`.
+template <typename Body>
+std::uint64_t allocations_during(Body&& body) {
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  body();
+  return g_news.load(std::memory_order_relaxed) - before;
+}
+
+enum class WeightMode {
+  kContinuous,  // uniform doubles: ties essentially impossible
+  kQuantised,   // weights from {1, 2, 4}: score ties common
+  kUnit,        // all 1.0: maximally tie-heavy
+};
+
+graph::WeightedGraph random_graph(std::size_t n, double density,
+                                  WeightMode mode, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> weights;
+  for (std::size_t v = 0; v < n; ++v) {
+    switch (mode) {
+      case WeightMode::kContinuous:
+        weights.push_back(rng.uniform(0.1, 10.0));
+        break;
+      case WeightMode::kQuantised:
+        weights.push_back(
+            static_cast<double>(1 << rng.uniform_int(0, 2)));
+        break;
+      case WeightMode::kUnit:
+        weights.push_back(1.0);
+        break;
+    }
+  }
+  graph::WeightedGraphBuilder b(std::move(weights));
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(density)) b.add_edge(u, v);
+    }
+  }
+  return b.build();
+}
+
+void expect_identical(const graph::MwisSolution& heap,
+                      const graph::MwisSolution& ref, const char* what,
+                      std::uint64_t seed) {
+  EXPECT_EQ(heap.vertices, ref.vertices) << what << " seed " << seed;
+  // Both accumulate in selection order, so even the weight is bit-equal.
+  EXPECT_EQ(heap.total_weight, ref.total_weight) << what << " seed " << seed;
+}
+
+// --- explicit-graph GWMIN/GWMIN2 vs reference scan --------------------------
+
+class GwminDiffTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GwminDiffTest, HeapMatchesReferenceScanExactly) {
+  const std::uint64_t seed = GetParam();
+  // Two graphs per seed (continuous + tie-heavy quantised weights) times
+  // 100 seeds = the 200-graph differential sweep; size and density vary
+  // with the seed so the family covers sparse chains through near-cliques.
+  const std::size_t n = 4 + static_cast<std::size_t>(seed % 61);
+  const double density =
+      0.02 + 0.96 * static_cast<double>(seed % 17) / 16.0;
+  for (WeightMode mode : {WeightMode::kContinuous, WeightMode::kQuantised}) {
+    const auto g = random_graph(n, density, mode, seed);
+    expect_identical(graph::gwmin(g), graph::gwmin_reference(g), "gwmin",
+                     seed);
+    expect_identical(graph::gwmin2(g), graph::gwmin2_reference(g), "gwmin2",
+                     seed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GwminDiffTest,
+                         ::testing::Range<std::uint64_t>(1, 101));
+
+TEST(GwminDiff, AdversarialTieFamilies) {
+  // Unit weights on regular-ish structures: every round is a tie, so any
+  // deviation from the lowest-index rule changes the answer immediately.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto g = random_graph(32, 0.2, WeightMode::kUnit, seed);
+    expect_identical(graph::gwmin(g), graph::gwmin_reference(g),
+                     "gwmin/unit", seed);
+    expect_identical(graph::gwmin2(g), graph::gwmin2_reference(g),
+                     "gwmin2/unit", seed);
+  }
+  // Structured shapes: path, cycle, star, clique, isolated + zero weights.
+  {
+    graph::WeightedGraphBuilder b(std::vector<double>(24, 1.0));
+    for (std::size_t v = 0; v + 1 < 24; ++v) b.add_edge(v, v + 1);
+    const auto g = b.build();
+    expect_identical(graph::gwmin(g), graph::gwmin_reference(g), "path", 0);
+    expect_identical(graph::gwmin2(g), graph::gwmin2_reference(g), "path", 0);
+  }
+  {
+    graph::WeightedGraphBuilder b(std::vector<double>(16, 2.0));
+    for (std::size_t v = 0; v < 16; ++v) b.add_edge(v, (v + 1) % 16);
+    const auto g = b.build();
+    expect_identical(graph::gwmin(g), graph::gwmin_reference(g), "cycle", 0);
+    expect_identical(graph::gwmin2(g), graph::gwmin2_reference(g), "cycle",
+                     0);
+  }
+  {
+    // Star plus isolated zero-weight vertices (gwmin2's denom==0 branch).
+    graph::WeightedGraphBuilder b({1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0});
+    for (std::size_t leaf = 1; leaf < 5; ++leaf) b.add_edge(0, leaf);
+    const auto g = b.build();
+    expect_identical(graph::gwmin(g), graph::gwmin_reference(g), "star", 0);
+    expect_identical(graph::gwmin2(g), graph::gwmin2_reference(g), "star",
+                     0);
+  }
+  {
+    graph::WeightedGraphBuilder b(std::vector<double>(12, 3.0));
+    for (std::size_t u = 0; u < 12; ++u) {
+      for (std::size_t v = u + 1; v < 12; ++v) b.add_edge(u, v);
+    }
+    const auto g = b.build();
+    expect_identical(graph::gwmin(g), graph::gwmin_reference(g), "clique",
+                     0);
+    expect_identical(graph::gwmin2(g), graph::gwmin2_reference(g), "clique",
+                     0);
+  }
+  {
+    const graph::WeightedGraph g(std::vector<double>(9, 1.0));  // edge-less
+    expect_identical(graph::gwmin(g), graph::gwmin_reference(g), "isolated",
+                     0);
+    expect_identical(graph::gwmin2(g), graph::gwmin2_reference(g),
+                     "isolated", 0);
+  }
+}
+
+TEST(GwminDiff, WorkspaceReuseAcrossDifferentGraphsIsClean) {
+  // A workspace warmed on a large graph must not leak stale heap positions,
+  // degrees, or epoch marks into a later, smaller solve.
+  graph::MwisWorkspace ws;
+  graph::MwisSolution out;
+  const auto big = random_graph(60, 0.3, WeightMode::kQuantised, 7);
+  const auto small = random_graph(9, 0.5, WeightMode::kUnit, 8);
+  for (int round = 0; round < 3; ++round) {
+    graph::gwmin(big, ws, out);
+    expect_identical(out, graph::gwmin_reference(big), "reuse/big", 7);
+    graph::gwmin(small, ws, out);
+    expect_identical(out, graph::gwmin_reference(small), "reuse/small", 8);
+    graph::gwmin2(big, ws, out);
+    expect_identical(out, graph::gwmin2_reference(big), "reuse2/big", 7);
+    graph::gwmin2(small, ws, out);
+    expect_identical(out, graph::gwmin2_reference(small), "reuse2/small", 8);
+  }
+}
+
+TEST(GwminDiff, TenThousandNodeSmoke) {
+  // Scale smoke (re-run under ASan by the sanitize preset): solve a 10k
+  // vertex graph with both heap greedies and check the solutions satisfy
+  // the independence contract and the GWMIN weight guarantee.
+  const std::size_t n = 10000;
+  util::Rng rng(42);
+  std::vector<double> weights;
+  for (std::size_t v = 0; v < n; ++v) weights.push_back(rng.uniform(0.5, 10));
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t e = 0; e < 4 * n; ++e) {
+    auto u = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    auto v = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    edges.emplace_back(u, v);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  graph::WeightedGraphBuilder b(std::move(weights));
+  for (const auto& [u, v] : edges) b.add_edge(u, v);
+  const auto g = b.build();
+  double bound = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    bound += g.weight(v) / static_cast<double>(g.degree(v) + 1);
+  }
+  const auto sol = graph::gwmin(g);
+  EXPECT_TRUE(g.is_independent(sol.vertices));
+  EXPECT_GE(sol.total_weight, bound - 1e-9);
+  const auto sol2 = graph::gwmin2(g);
+  EXPECT_TRUE(g.is_independent(sol2.vertices));
+  EXPECT_NO_THROW(graph::check_independent(g, sol2.vertices));
+}
+
+// --- conflict-graph solve_gwmin vs linear-scan replica ----------------------
+
+/// In-test replica of core::solve_gwmin's *historical* semantics: a full
+/// linear argmax per round over (score, node id) with the HIGHER id winning
+/// ties (the order a lazy max-heap of std::pair<double, uint32_t> pops),
+/// degrees decremented per kill, and — critically — GWMIN2 neighbourhood
+/// weights maintained by incremental subtraction in doomed-major CSR-minor
+/// order, so floating-point rounding matches the production solver bit for
+/// bit.
+std::vector<std::uint32_t> solve_gwmin_replica(const core::ConflictGraph& g,
+                                               bool use_gwmin2) {
+  const std::size_t n = g.size();
+  std::vector<char> alive(n, 1);
+  std::vector<std::uint32_t> degree(n);
+  std::vector<double> nbr_weight(n, 0.0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    degree[v] = static_cast<std::uint32_t>(g.degree(v));
+    if (use_gwmin2) {
+      for (std::uint32_t u : g.neighbors(v)) nbr_weight[v] += g.nodes[u].weight;
+    }
+  }
+  auto score = [&](std::uint32_t v) {
+    if (use_gwmin2) {
+      const double denom = g.nodes[v].weight + nbr_weight[v];
+      return denom == 0.0 ? 1.0 : g.nodes[v].weight / denom;
+    }
+    return g.nodes[v].weight / static_cast<double>(degree[v] + 1);
+  };
+
+  std::vector<std::uint32_t> selected;
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    bool found = false;
+    double best_score = 0.0;
+    std::uint32_t best = 0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (!alive[v]) continue;
+      const double s = score(v);
+      // >= keeps the later (higher) index on exact ties.
+      if (!found || s >= best_score) {
+        found = true;
+        best_score = s;
+        best = v;
+      }
+    }
+    selected.push_back(best);
+    std::vector<std::uint32_t> doomed{best};
+    alive[best] = 0;
+    --remaining;
+    for (std::uint32_t u : g.neighbors(best)) {
+      if (alive[u]) {
+        alive[u] = 0;
+        --remaining;
+        doomed.push_back(u);
+      }
+    }
+    for (std::uint32_t u : doomed) {
+      for (std::uint32_t w : g.neighbors(u)) {
+        if (!alive[w]) continue;
+        --degree[w];
+        if (use_gwmin2) nbr_weight[w] -= g.nodes[u].weight;
+      }
+    }
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+core::ConflictGraph synthetic_conflict_graph(std::size_t requests,
+                                             std::uint64_t seed) {
+  trace::SyntheticTraceConfig tc;
+  tc.num_requests = requests;
+  tc.num_data = static_cast<DataId>(requests / 2);
+  tc.mean_rate = 30.0;
+  tc.seed = seed;
+  const auto t = trace::make_synthetic_trace(tc);
+  placement::ZipfPlacementConfig pc;
+  pc.num_disks = 24;
+  pc.num_data = static_cast<DataId>(requests / 2);
+  pc.replication_factor = 3;
+  pc.seed = seed + 1;
+  const auto placement = placement::make_zipf_placement(pc);
+  return core::build_conflict_graph(t, placement, disk::DiskPowerParams{},
+                                    {});
+}
+
+TEST(SolveGwminDiff, MatchesLinearScanReplicaOnSyntheticBatches) {
+  for (std::uint64_t seed : {11u, 12u, 13u, 14u, 15u}) {
+    const auto g = synthetic_conflict_graph(600, seed);
+    ASSERT_GT(g.size(), 0u) << "seed " << seed;
+    for (bool gw2 : {false, true}) {
+      const auto fast = core::solve_gwmin(g, gw2);
+      const auto ref = solve_gwmin_replica(g, gw2);
+      EXPECT_EQ(fast, ref) << "seed " << seed << " gwmin2=" << gw2;
+    }
+  }
+}
+
+// --- set cover: lazy heap vs reference scan ---------------------------------
+
+graph::SetCoverInstance random_cover(std::size_t elements, std::size_t sets,
+                                     double density, bool tie_heavy,
+                                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::SetCoverInstance inst;
+  inst.num_elements = elements;
+  inst.sets.resize(sets);
+  for (auto& s : inst.sets) {
+    // Tie-heavy instances quantise weights and set sizes so many sets share
+    // the exact (ratio, fresh) key and selection hinges on the index rule.
+    s.weight = tie_heavy ? static_cast<double>(rng.uniform_int(0, 2))
+                         : rng.uniform(0.5, 10.0);
+    for (std::size_t e = 0; e < elements; ++e) {
+      if (rng.bernoulli(density)) s.elements.push_back(e);
+    }
+  }
+  // One universal set guarantees feasibility.
+  inst.sets.push_back({100.0, {}});
+  for (std::size_t e = 0; e < elements; ++e) {
+    inst.sets.back().elements.push_back(e);
+  }
+  return inst;
+}
+
+class SetCoverDiffTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SetCoverDiffTest, HeapMatchesReferenceScanExactly) {
+  const std::uint64_t seed = GetParam();
+  const std::size_t elements = 8 + (seed % 40);
+  const std::size_t sets = 4 + (seed % 23);
+  const double density = 0.05 + 0.5 * static_cast<double>(seed % 7) / 6.0;
+  for (bool tie_heavy : {false, true}) {
+    const auto inst =
+        random_cover(elements, sets, density, tie_heavy, seed);
+    const auto fast = graph::greedy_weighted_set_cover(inst);
+    const auto ref = graph::greedy_weighted_set_cover_reference(inst);
+    EXPECT_EQ(fast.chosen_sets, ref.chosen_sets)
+        << "seed " << seed << " tie_heavy " << tie_heavy;
+    EXPECT_EQ(fast.total_weight, ref.total_weight)
+        << "seed " << seed << " tie_heavy " << tie_heavy;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetCoverDiffTest,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+// --- zero-allocation contracts ----------------------------------------------
+
+TEST(SolverAllocation, WarmExplicitGwminSolveIsAllocationFree) {
+  const auto g = random_graph(256, 0.05, WeightMode::kContinuous, 5);
+  graph::MwisWorkspace ws;
+  graph::MwisSolution out;
+  graph::gwmin(g, ws, out);   // warm gwmin's high-water marks
+  graph::gwmin2(g, ws, out);  // …and gwmin2's
+  EXPECT_EQ(allocations_during([&] { graph::gwmin(g, ws, out); }), 0u);
+  EXPECT_EQ(allocations_during([&] { graph::gwmin2(g, ws, out); }), 0u);
+}
+
+TEST(SolverAllocation, WarmConflictSolveIsAllocationFree) {
+  const auto g = synthetic_conflict_graph(400, 21);
+  ASSERT_GT(g.size(), 0u);
+  core::GwminWorkspace ws;
+  std::vector<std::uint32_t> selected;
+  core::solve_gwmin(g, false, ws, selected);
+  core::solve_gwmin(g, true, ws, selected);
+  EXPECT_EQ(
+      allocations_during([&] { core::solve_gwmin(g, false, ws, selected); }),
+      0u);
+  EXPECT_EQ(
+      allocations_during([&] { core::solve_gwmin(g, true, ws, selected); }),
+      0u);
+}
+
+}  // namespace
+}  // namespace eas

@@ -1,6 +1,11 @@
-// Tests for the MWIS algorithms: explicit graph, GWMIN variants, exact
-// branch-and-bound, randomized cross-validation and the GWMIN lower bound.
+// Tests for the MWIS algorithms: explicit CSR graph + builder, GWMIN
+// variants, exact branch-and-bound, randomized cross-validation and the
+// GWMIN lower bound. (The heap-vs-reference differential suite lives in
+// test_graph_diff.cpp.)
 #include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <utility>
 
 #include "graph/mwis.hpp"
 #include "util/check.hpp"
@@ -9,15 +14,22 @@
 namespace eas::graph {
 namespace {
 
+WeightedGraph make_graph(
+    std::vector<double> weights,
+    std::initializer_list<std::pair<std::size_t, std::size_t>> edges) {
+  WeightedGraphBuilder b(std::move(weights));
+  for (const auto& [u, v] : edges) b.add_edge(u, v);
+  return b.build();
+}
+
 WeightedGraph path_graph(std::vector<double> weights) {
-  WeightedGraph g(std::move(weights));
-  for (std::size_t v = 0; v + 1 < g.size(); ++v) g.add_edge(v, v + 1);
-  return g;
+  WeightedGraphBuilder b(std::move(weights));
+  for (std::size_t v = 0; v + 1 < b.size(); ++v) b.add_edge(v, v + 1);
+  return b.build();
 }
 
 TEST(WeightedGraph, EdgeBookkeeping) {
-  WeightedGraph g({1.0, 2.0, 3.0});
-  g.add_edge(0, 1);
+  const auto g = make_graph({1.0, 2.0, 3.0}, {{0, 1}});
   EXPECT_TRUE(g.has_edge(0, 1));
   EXPECT_TRUE(g.has_edge(1, 0));
   EXPECT_FALSE(g.has_edge(0, 2));
@@ -26,17 +38,55 @@ TEST(WeightedGraph, EdgeBookkeeping) {
   EXPECT_EQ(g.degree(2), 0u);
 }
 
-TEST(WeightedGraph, RejectsSelfLoopsDuplicatesAndBadWeights) {
-  WeightedGraph g({1.0, 1.0});
-  g.add_edge(0, 1);
-  EXPECT_THROW(g.add_edge(0, 1), InvariantError);
-  EXPECT_THROW(g.add_edge(1, 1), InvariantError);
+TEST(WeightedGraph, RejectsSelfLoopsRangeAndBadWeights) {
+  WeightedGraphBuilder b({1.0, 1.0});
+  b.add_edge(0, 1);
+  EXPECT_THROW(b.add_edge(1, 1), InvariantError);  // self-loop: O(1), always
+  EXPECT_THROW(b.add_edge(0, 2), InvariantError);  // out of range: always
+  EXPECT_THROW(WeightedGraphBuilder({-1.0}), InvariantError);
   EXPECT_THROW(WeightedGraph({-1.0}), InvariantError);
 }
 
+TEST(WeightedGraph, DuplicateEdgesCaughtByBuildAudit) {
+  // The O(deg) per-insertion duplicate probe is gone; duplicates are now a
+  // bulk audit-tier contract at build time.
+  WeightedGraphBuilder b({1.0, 1.0});
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // same undirected edge, reversed spelling
+  if constexpr (audit_enabled()) {
+    EXPECT_THROW(b.build(), InvariantError);
+  } else {
+    EXPECT_NO_THROW(b.build());
+  }
+}
+
+TEST(WeightedGraph, AdoptsAPrebuiltCsr) {
+  // Triangle 0-1-2 handed over as raw CSR arrays (the to_weighted_graph
+  // fast path).
+  const WeightedGraph g({1.0, 2.0, 3.0}, {0, 2, 4, 6},
+                        {1, 2, 0, 2, 0, 1});
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.is_independent({0, 1}));
+}
+
+TEST(WeightedGraph, RejectsMalformedCsrShape) {
+  // Shape errors throw in every build tier.
+  EXPECT_THROW(WeightedGraph({1.0, 1.0}, {0, 1}, {1}), InvariantError);
+  EXPECT_THROW(WeightedGraph({1.0, 1.0}, {0, 1, 3}, {1, 0}), InvariantError);
+}
+
+TEST(WeightedGraph, AuditRejectsAsymmetricCsr) {
+  if constexpr (audit_enabled()) {
+    // 0 lists 1 but 1 does not list 0.
+    EXPECT_THROW(WeightedGraph({1.0, 1.0}, {0, 1, 1}, {1}), InvariantError);
+  } else {
+    GTEST_SKIP() << "structural CSR audit is compiled out in this tier";
+  }
+}
+
 TEST(WeightedGraph, IndependenceCheck) {
-  WeightedGraph g({1, 1, 1});
-  g.add_edge(0, 1);
+  const auto g = make_graph({1, 1, 1}, {{0, 1}});
   EXPECT_TRUE(g.is_independent({0, 2}));
   EXPECT_FALSE(g.is_independent({0, 1}));
   EXPECT_FALSE(g.is_independent({0, 0}));  // duplicates rejected
@@ -67,10 +117,7 @@ TEST(ExactMwis, PathGraphAlternation) {
 
 TEST(ExactMwis, WeightBeatsCardinality) {
   // Star: heavy centre vs three light leaves.
-  WeightedGraph g({10.0, 1.0, 1.0, 1.0});
-  g.add_edge(0, 1);
-  g.add_edge(0, 2);
-  g.add_edge(0, 3);
+  const auto g = make_graph({10.0, 1.0, 1.0, 1.0}, {{0, 1}, {0, 2}, {0, 3}});
   const auto sol = exact_mwis(g);
   EXPECT_DOUBLE_EQ(sol.total_weight, 10.0);
   EXPECT_EQ(sol.vertices, (std::vector<std::size_t>{0}));
@@ -89,16 +136,14 @@ TEST(Gwmin, SolutionsAreAlwaysIndependent) {
 }
 
 TEST(Gwmin, TakesTheHeavyIsolatedVertexFirst) {
-  WeightedGraph g({100.0, 1.0, 1.0});
-  g.add_edge(1, 2);
+  const auto g = make_graph({100.0, 1.0, 1.0}, {{1, 2}});
   const auto sol = gwmin(g);
   EXPECT_TRUE(g.is_independent(sol.vertices));
   EXPECT_GE(sol.total_weight, 101.0);
 }
 
 TEST(Gwmin2, HandlesZeroWeightGraphs) {
-  WeightedGraph g({0.0, 0.0});
-  g.add_edge(0, 1);
+  const auto g = make_graph({0.0, 0.0}, {{0, 1}});
   const auto sol = gwmin2(g);
   EXPECT_TRUE(g.is_independent(sol.vertices));
   EXPECT_EQ(sol.vertices.size(), 1u);
@@ -111,12 +156,13 @@ TEST_P(RandomMwisTest, GreediesAreIndependentBoundedAndBelowExact) {
   const std::size_t n = 14;
   std::vector<double> weights;
   for (std::size_t v = 0; v < n; ++v) weights.push_back(rng.uniform(0.5, 10.0));
-  WeightedGraph g(std::move(weights));
+  WeightedGraphBuilder b(std::move(weights));
   for (std::size_t u = 0; u < n; ++u) {
     for (std::size_t v = u + 1; v < n; ++v) {
-      if (rng.bernoulli(0.3)) g.add_edge(u, v);
+      if (rng.bernoulli(0.3)) b.add_edge(u, v);
     }
   }
+  const auto g = b.build();
 
   const auto exact = exact_mwis(g);
   EXPECT_TRUE(g.is_independent(exact.vertices));
@@ -144,12 +190,13 @@ TEST(ExactMwis, MatchesBruteForceOnTinyGraphs) {
     const std::size_t n = 10;
     std::vector<double> weights;
     for (std::size_t v = 0; v < n; ++v) weights.push_back(rng.uniform(0, 5));
-    WeightedGraph g(std::move(weights));
+    WeightedGraphBuilder b(std::move(weights));
     for (std::size_t u = 0; u < n; ++u) {
       for (std::size_t v = u + 1; v < n; ++v) {
-        if (rng.bernoulli(0.4)) g.add_edge(u, v);
+        if (rng.bernoulli(0.4)) b.add_edge(u, v);
       }
     }
+    const auto g = b.build();
     double best = 0.0;
     for (unsigned mask = 0; mask < (1u << n); ++mask) {
       std::vector<std::size_t> verts;

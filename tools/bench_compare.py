@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Diff two bench_record.sh outputs and flag regressions.
+
+Usage: tools/bench_compare.py [--baseline BENCH_micro.baseline.json]
+                              [--current BENCH_micro.json]
+                              [--threshold 0.25]
+                              [--output delta.md]
+
+Prints a markdown delta table (new/removed benchmarks included) and exits 1
+when any benchmark's real_time regressed by more than the threshold. Wall
+clock on shared runners is noisy, so CI runs this job non-gating
+(continue-on-error) and publishes the table as an artifact — the exit code is
+a signal for humans reading the job summary, not a merge gate. Local runs on
+a quiet machine can treat it as a real check.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    if "benchmarks" not in doc:
+        sys.exit(f"bench_compare: {path} has no 'benchmarks' key")
+    return doc
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f} us"
+    return f"{ns:.0f} ns"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", default="BENCH_micro.baseline.json")
+    ap.add_argument("--current", default="BENCH_micro.json")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="relative real_time slowdown that counts as a "
+                         "regression (default 0.25 = +25%%)")
+    ap.add_argument("--output", help="also write the markdown table here")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    base_bm = base["benchmarks"]
+    cur_bm = cur["benchmarks"]
+
+    lines = [
+        f"Baseline `{base.get('commit', '?')}` vs current "
+        f"`{cur.get('commit', '?')}` (threshold +{args.threshold:.0%})",
+        "",
+        "| benchmark | baseline | current | delta | |",
+        "|---|---:|---:|---:|---|",
+    ]
+    regressions = []
+    for name in sorted(set(base_bm) | set(cur_bm)):
+        b = base_bm.get(name)
+        c = cur_bm.get(name)
+        if b is None:
+            lines.append(f"| {name} | — | {fmt_ns(c['real_time_ns'])} | new | |")
+            continue
+        if c is None:
+            lines.append(f"| {name} | {fmt_ns(b['real_time_ns'])} | — | removed | |")
+            continue
+        bt, ct = b["real_time_ns"], c["real_time_ns"]
+        delta = (ct - bt) / bt if bt > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            flag = "REGRESSION"
+            regressions.append((name, delta))
+        elif delta < -args.threshold:
+            flag = "improved"
+        lines.append(f"| {name} | {fmt_ns(bt)} | {fmt_ns(ct)} "
+                     f"| {delta:+.1%} | {flag} |")
+
+    table = "\n".join(lines) + "\n"
+    print(table, end="")
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(table)
+
+    if regressions:
+        worst = max(regressions, key=lambda r: r[1])
+        print(f"\nbench_compare: {len(regressions)} regression(s) beyond "
+              f"+{args.threshold:.0%}; worst: {worst[0]} ({worst[1]:+.1%})",
+              file=sys.stderr)
+        return 1
+    print(f"\nbench_compare: no regressions beyond +{args.threshold:.0%} "
+          f"({len(cur_bm)} benchmarks)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
