@@ -1,0 +1,80 @@
+// Micro-benchmarks: cache-tier hot paths. A lookup sits on every request's
+// dispatch path and a destage batch runs inside the disk idle callback, so
+// both must stay cheap and allocation-free in the steady state (the
+// counting-allocator test in test_cache pins the latter literally; these
+// benches track the constant factors).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cache/block_cache.hpp"
+#include "cache/cache.hpp"
+#include "cache/write_back.hpp"
+
+using namespace eas;
+
+namespace {
+
+constexpr std::size_t kCapacity = 4096;
+
+void BM_CacheLookup(benchmark::State& state,
+                    cache::CachePolicy policy) {
+  auto c = cache::BlockCache::make(policy, kCapacity);
+  for (DataId b = 0; b < kCapacity; ++b) {
+    c->insert(b);
+    c->lookup(b);  // seat ARC's working set in T2
+  }
+  DataId b = 0;
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    hits += c->lookup(b) ? 1 : 0;
+    b = (b + 7) & (kCapacity - 1);  // stride through the resident set
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_CacheMissInsert(benchmark::State& state,
+                        cache::CachePolicy policy) {
+  // Cold-miss insert + eviction churn: the worst-case per-request cost.
+  auto c = cache::BlockCache::make(policy, kCapacity);
+  DataId b = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c->insert(b++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_DestageBatch(benchmark::State& state) {
+  // One put -> begin_destage -> complete cycle per iteration, batched at
+  // the default size over a 64-disk group spread.
+  constexpr std::size_t kDisks = 64;
+  constexpr std::size_t kBatch = 8;
+  cache::WriteBackBuffer wb(kCapacity, kDisks);
+  std::vector<DataId> batch;
+  batch.reserve(kBatch);
+  DataId b = 0;
+  double now = 0.0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      wb.put(static_cast<DataId>(b + i), static_cast<DiskId>(b % kDisks), now);
+    }
+    batch.clear();
+    wb.begin_destage(static_cast<DiskId>(b % kDisks), kBatch, batch);
+    for (const DataId d : batch) wb.complete(d);
+    b += kBatch;
+    now += 1.0;
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kBatch));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_CacheLookup, lru, cache::CachePolicy::kLru);
+BENCHMARK_CAPTURE(BM_CacheLookup, arc, cache::CachePolicy::kArc);
+BENCHMARK_CAPTURE(BM_CacheMissInsert, lru, cache::CachePolicy::kLru);
+BENCHMARK_CAPTURE(BM_CacheMissInsert, arc, cache::CachePolicy::kArc);
+BENCHMARK(BM_DestageBatch);
+
+BENCHMARK_MAIN();

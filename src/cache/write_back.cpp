@@ -1,0 +1,102 @@
+#include "cache/write_back.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace eas::cache {
+
+double WriteBackBuffer::buffered_at(DataId b) const {
+  auto it = slots_.find(b);
+  EAS_REQUIRE_MSG(it != slots_.end(), "block " << b << " not buffered");
+  return it->second.admitted;
+}
+
+DiskId WriteBackBuffer::home_of(DataId b) const {
+  auto it = slots_.find(b);
+  EAS_REQUIRE_MSG(it != slots_.end(), "block " << b << " not buffered");
+  return it->second.home;
+}
+
+bool WriteBackBuffer::put(DataId b, DiskId k, double now) {
+  EAS_REQUIRE_MSG(k < pending_.size(), "home disk " << k << " out of range");
+  auto it = slots_.find(b);
+  if (it != slots_.end()) {
+    Slot& s = it->second;
+    if (!s.in_flight) {
+      // Overwrite in place: the slot keeps its home, queue position and
+      // admission time; the eventual destage carries the newest payload.
+      return true;
+    }
+    // The copy racing to disk is stale now. Re-enter the block at the tail
+    // of its home FIFO; the in-flight write's complete() becomes a no-op.
+    auto& fl = inflight_[s.home];
+    fl.erase(std::find(fl.begin(), fl.end(), b));
+    s.in_flight = false;
+    s.admitted = now;
+    pending_[s.home].push_back(b);
+    ++pending_count_[s.home];
+    ++pending_total_;
+    return true;
+  }
+  if (slots_.size() >= capacity_) return false;
+  slots_.emplace(b, Slot{k, now, /*in_flight=*/false});
+  pending_[k].push_back(b);
+  ++pending_count_[k];
+  ++pending_total_;
+  return true;
+}
+
+std::size_t WriteBackBuffer::begin_destage(DiskId k, std::size_t max_blocks,
+                                           std::vector<DataId>& out) {
+  EAS_REQUIRE_MSG(k < pending_.size(), "disk " << k << " out of range");
+  std::size_t issued = 0;
+  while (issued < max_blocks && !pending_[k].empty()) {
+    const DataId b = pending_[k].front();
+    pending_[k].pop_front();
+    auto it = slots_.find(b);
+    EAS_ASSERT(it != slots_.end() && it->second.home == k &&
+               !it->second.in_flight);
+    it->second.in_flight = true;
+    inflight_[k].push_back(b);
+    out.push_back(b);
+    ++issued;
+  }
+  pending_count_[k] -= issued;
+  pending_total_ -= issued;
+  return issued;
+}
+
+bool WriteBackBuffer::complete(DataId b) {
+  auto it = slots_.find(b);
+  if (it == slots_.end() || !it->second.in_flight) return false;
+  const DiskId k = it->second.home;
+  auto& fl = inflight_[k];
+  fl.erase(std::find(fl.begin(), fl.end(), b));
+  slots_.erase(it);
+  return true;
+}
+
+std::size_t WriteBackBuffer::drain(DiskId k, std::vector<DataId>& out) {
+  EAS_REQUIRE_MSG(k < pending_.size(), "disk " << k << " out of range");
+  std::size_t drained = 0;
+  // In-flight first (they were admitted earliest), then pending, each in
+  // admission order — the re-home order stays deterministic.
+  for (const DataId b : inflight_[k]) {
+    out.push_back(b);
+    slots_.erase(b);
+    ++drained;
+  }
+  inflight_[k].clear();
+  for (const DataId b : pending_[k]) {
+    out.push_back(b);
+    slots_.erase(b);
+    ++drained;
+  }
+  pending_total_ -= pending_[k].size();
+  pending_[k].clear();
+  pending_count_[k] = 0;
+  return drained;
+}
+
+}  // namespace eas::cache

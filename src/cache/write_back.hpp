@@ -1,0 +1,113 @@
+// Write-back buffer with per-disk destage grouping.
+//
+// Dirty blocks live in NVRAM-modelled slots, grouped by home disk so a
+// destage batch touches exactly one disk. The buffer itself makes no timing
+// or power decisions — the storage system decides *when* to destage
+// (piggyback on a spinning disk, watermark pressure, or deadline) and the
+// buffer hands out batches in FIFO admission order per disk, which keeps the
+// destage stream a pure function of the write stream (determinism contract).
+//
+// Block lifecycle within the buffer:
+//
+//   put() ──► pending (in its home disk's FIFO)
+//     │            │ begin_destage()
+//     │            ▼
+//     │        in-flight (internal write issued to the disk)
+//     │            │ complete()                │ home disk dies
+//     ▼            ▼                           ▼
+//   overwrite   slot freed                 drain() → re-homed or lost
+//
+// A put() of an already-buffered block refreshes its payload in place (one
+// slot per block — last write wins, no duplicate destage). drain(k) empties
+// disk k's group (pending AND in-flight, since a dead disk completes
+// nothing) so the caller can re-home each block via the placement map.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace eas::cache {
+
+class WriteBackBuffer {
+ public:
+  WriteBackBuffer(std::size_t capacity_blocks, std::size_t num_disks)
+      : capacity_(capacity_blocks),
+        pending_(num_disks),
+        inflight_(num_disks),
+        pending_count_(num_disks, 0) {}
+
+  std::size_t capacity() const { return capacity_; }
+  /// Buffered blocks, pending + in-flight.
+  std::size_t size() const { return slots_.size(); }
+  bool full() const { return slots_.size() >= capacity_; }
+
+  /// True when `b` is buffered (pending or in-flight). The authoritative
+  /// copy of a dirty block is here until complete() lands it on disk.
+  bool contains(DataId b) const { return slots_.count(b) > 0; }
+
+  /// Pending (not yet issued) blocks homed on disk `k` — the dirty-set
+  /// pressure the schedulers read.
+  std::uint64_t pending(DiskId k) const { return pending_count_[k]; }
+  /// Pending blocks across all disks = what would remain resident after
+  /// every in-flight destage lands.
+  std::uint64_t pending_total() const { return pending_total_; }
+  /// True when `b` is buffered and not in flight.
+  bool is_pending(DataId b) const {
+    auto it = slots_.find(b);
+    return it != slots_.end() && !it->second.in_flight;
+  }
+  std::size_t num_disks() const { return pending_.size(); }
+
+  /// Admission time of `b` (for deadline checks); requires contains(b).
+  double buffered_at(DataId b) const;
+  /// Home disk of `b`; requires contains(b).
+  DiskId home_of(DataId b) const;
+
+  /// Buffers `b` homed on `k` at time `now`. Re-putting a still-pending
+  /// block refreshes it in place (keeps its queue position and admission
+  /// time; the destage will carry the newest payload). Re-putting an
+  /// *in-flight* block re-enters it at the tail of its home FIFO with a
+  /// fresh admission time — the write racing to disk is stale, and its
+  /// complete() will be ignored. Returns false when the buffer is full —
+  /// the caller must fall back to write-through.
+  bool put(DataId b, DiskId k, double now);
+
+  /// Moves up to `max_blocks` of disk `k`'s pending blocks (FIFO order)
+  /// into the in-flight set, appending them to `out`. Returns the count.
+  std::size_t begin_destage(DiskId k, std::size_t max_blocks,
+                            std::vector<DataId>& out);
+
+  /// Marks an in-flight destage of `b` complete and frees its slot.
+  /// Tolerates stale completions (block already drained/overwritten after a
+  /// disk death): returns false and does nothing for an unknown block.
+  bool complete(DataId b);
+
+  /// Empties disk `k`'s whole group — pending and in-flight — appending the
+  /// blocks to `out` in admission order. Used on disk death; the caller
+  /// re-homes each block or counts it lost.
+  std::size_t drain(DiskId k, std::vector<DataId>& out);
+
+ private:
+  struct Slot {
+    DiskId home;
+    double admitted;
+    bool in_flight;
+  };
+
+  std::size_t capacity_;
+  std::unordered_map<DataId, Slot> slots_;
+  /// Per-disk FIFO of pending blocks (admission order). Entries leave only
+  /// via begin_destage() or drain(), so every entry is live.
+  std::vector<std::deque<DataId>> pending_;
+  /// Per-disk in-flight blocks, in issue order.
+  std::vector<std::vector<DataId>> inflight_;
+  std::vector<std::uint64_t> pending_count_;
+  std::uint64_t pending_total_ = 0;
+};
+
+}  // namespace eas::cache

@@ -24,8 +24,15 @@ DiskId CostFunctionScheduler::pick(const disk::Request& r,
   for (DiskId k : locs) {
     if (fv != nullptr && !fv->replica_readable(r.data, k)) continue;
     const auto snap = view.snapshot(k);
-    const double c =
+    const double base =
         composite_cost(snap, view.now(), view.power_params(), params_);
+    // Dirty-set pressure discount: a disk holding pending destage work
+    // amortizes its wake cost across the foreground read *and* the flush,
+    // so its effective cost shrinks. Exactly the identity when no cache
+    // tier exists (pending_destage == 0 everywhere).
+    const double c =
+        base / (1.0 + kDestagePressureWeight *
+                          static_cast<double>(view.pending_destage(k)));
     const bool sleeping = snap.state == disk::DiskState::Standby ||
                           snap.state == disk::DiskState::SpinningDown;
     // Lexicographic (cost, sleeping?, replica order): equal-cost ties go to

@@ -11,6 +11,15 @@
 
 namespace eas::core {
 
+/// Per-pending-block cost discount applied by the cost-based schedulers when
+/// a replica's disk has dirty blocks awaiting destage (SystemView::
+/// pending_destage). A disk with n pending blocks has its composite cost
+/// divided by (1 + w·n): waking it flushes its dirty group on the same
+/// spin-up, so the wake energy is shared. w = 0.05 means ~20 pending blocks
+/// halve the effective cost; with no cache tier the factor is exactly 1 and
+/// picks are unchanged (bit-for-bit).
+inline constexpr double kDestagePressureWeight = 0.05;
+
 class CostFunctionScheduler final : public OnlineScheduler {
  public:
   explicit CostFunctionScheduler(CostParams params = {}) : params_(params) {}

@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "core/cost_scheduler.hpp"
 #include "util/check.hpp"
 
 namespace eas::core {
@@ -53,7 +54,13 @@ DiskId PredictiveCostScheduler::pick(const disk::Request& r,
     if (fv != nullptr && !fv->replica_readable(r.data, k)) continue;
     const double base = composite_cost(view.snapshot(k), now,
                                        view.power_params(), params_.cost);
-    const double discount = 1.0 + params_.gamma * estimated_rate(k, now);
+    // Predicted-load discount (gamma) and the same dirty-set pressure
+    // discount the plain cost scheduler applies (see cost_scheduler.hpp);
+    // both are exactly 1 when idle-rate/cache state is absent.
+    const double discount =
+        (1.0 + params_.gamma * estimated_rate(k, now)) *
+        (1.0 + kDestagePressureWeight *
+                   static_cast<double>(view.pending_destage(k)));
     const double c = base / discount;
     if (c < best_cost) {
       best_cost = c;

@@ -42,6 +42,16 @@ class SystemView {
     const fault::FailureView* fv = failure_view();
     return fv != nullptr && fv->degraded();
   }
+  /// Dirty blocks buffered in the cache tier awaiting destage onto disk
+  /// `k` (0 when no cache tier exists). Cost-based schedulers use this to
+  /// bias replica choice toward disks with pending destage work: waking
+  /// such a disk pays for the foreground read *and* flushes its dirty
+  /// group on the same spin-up. Kept as a plain count so core never
+  /// depends on the cache layer.
+  virtual std::uint64_t pending_destage(DiskId k) const {
+    (void)k;
+    return 0;
+  }
   DiskId num_disks() const { return placement().num_disks(); }
 };
 

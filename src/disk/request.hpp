@@ -11,6 +11,10 @@ struct Request {
   RequestId id = 0;
   DataId data = kInvalidData;
   unsigned long size_bytes = 512 * 1024;
+  /// Direction. Disks serve both identically (the paper's service model is
+  /// symmetric); the cache tier branches on it — reads probe the block
+  /// cache, writes may be absorbed by the write-back buffer.
+  bool is_read = true;
   /// When the request entered the storage system.
   sim::SimTime arrival_time = 0.0;
   /// When the scheduler dispatched it to a disk (>= arrival under batching).

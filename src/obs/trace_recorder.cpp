@@ -24,6 +24,8 @@ const char* to_string(Cat c) {
       return "policy";
     case Cat::kFault:
       return "fault";
+    case Cat::kCache:
+      return "cache";
   }
   return "?";
 }
@@ -60,6 +62,16 @@ const char* to_string(Ev e) {
       return "policy-arm";
     case Ev::kPolicyCancel:
       return "policy-cancel";
+    case Ev::kCacheHit:
+      return "cache-hit";
+    case Ev::kCacheMiss:
+      return "cache-miss";
+    case Ev::kWriteBuffered:
+      return "write-buffered";
+    case Ev::kDestageBegin:
+      return "destage-begin";
+    case Ev::kDestageDone:
+      return "destage-done";
   }
   return "?";
 }
@@ -87,6 +99,12 @@ Cat category_of(Ev e) {
     case Ev::kPolicyArm:
     case Ev::kPolicyCancel:
       return Cat::kPolicy;
+    case Ev::kCacheHit:
+    case Ev::kCacheMiss:
+    case Ev::kWriteBuffered:
+    case Ev::kDestageBegin:
+    case Ev::kDestageDone:
+      return Cat::kCache;
   }
   return Cat::kRequest;
 }
@@ -284,6 +302,8 @@ void TraceRecorder::append_chrome_events(util::JsonWriter& w, int pid,
       case Ev::kPolicyCancel:
       case Ev::kDiskDown:
       case Ev::kDiskBack:
+      case Ev::kDestageBegin:
+      case Ev::kDestageDone:
         emit_instant(w, pid, disk_tid(e.id), e);
         break;
       default:

@@ -45,8 +45,9 @@ enum class Cat : std::uint8_t {
   kRebuild = 3,  ///< re-replication traffic
   kPolicy = 4,   ///< power-policy decisions (timer arm/cancel)
   kFault = 5,    ///< disk death / recovery
+  kCache = 6,    ///< cache tier: hits, buffered writes, destage traffic
 };
-inline constexpr int kNumCats = 6;
+inline constexpr int kNumCats = 7;
 
 constexpr std::uint32_t cat_bit(Cat c) {
   return 1u << static_cast<std::uint32_t>(c);
@@ -71,6 +72,11 @@ enum class Ev : std::uint8_t {
   kDiskBack = 12,     ///< replacement / recovery online    id=disk
   kPolicyArm = 13,    ///< spin-down timer armed            id=disk a=threshold_us
   kPolicyCancel = 14, ///< spin-down timer cancelled        id=disk
+  kCacheHit = 15,     ///< request served from the tier     id=req  a=data b=dirty?
+  kCacheMiss = 16,    ///< lookup missed, going to disk     id=req  a=data
+  kWriteBuffered = 17,  ///< write absorbed by the buffer   id=req  a=data b=home
+  kDestageBegin = 18,   ///< destage batch issued           id=disk a=blocks b=reason
+  kDestageDone = 19,    ///< one destaged block landed      id=disk a=data
 };
 
 const char* to_string(Ev e);
@@ -161,6 +167,10 @@ class TraceRecorder {
   void policy_event(double t, Ev ev, std::uint64_t disk,
                     std::uint64_t threshold_us = 0) {
     record(t, ev, disk, threshold_us);
+  }
+  void cache_event(double t, Ev ev, std::uint64_t id, std::uint64_t a = 0,
+                   std::uint32_t b = 0) {
+    record(t, ev, id, a, b);
   }
 
   /// Events still held (<= capacity). dropped() is how many older events

@@ -39,6 +39,12 @@ class CoveringSubsetPolicy final : public PowerPolicy {
     threshold_policy_.set_failure_view(fv);
   }
 
+  /// Likewise for dirty-set pressure: the delegate arms the timers.
+  void set_destage_probe(DestageProbe probe) override {
+    PowerPolicy::set_destage_probe(probe);
+    threshold_policy_.set_destage_probe(std::move(probe));
+  }
+
   bool is_covering(DiskId k) const { return covering_.contains(k); }
   std::size_t covering_size() const { return covering_.size(); }
 

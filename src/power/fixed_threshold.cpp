@@ -22,6 +22,11 @@ void FixedThresholdPolicy::on_disk_idle(sim::Simulator& sim, disk::Disk& d) {
   // A disk pinned by an in-progress rebuild stays spinning; the pin release
   // re-enters via on_disk_idle when the rebuild's last write completes.
   if (spin_down_blocked(d.id())) return;
+  // A disk with dirty blocks awaiting destage is about to receive internal
+  // writes (the cache tier piggybacks on this very idle transition);
+  // arming a spin-down now would only race it. The destage's completion
+  // re-enters via on_disk_idle once the group is flushed.
+  if (pending_destage(d.id()) > 0) return;
   // Replace any stale timer: the disk has begun a fresh idle period.
   auto it = timers_.find(d.id());
   if (it != timers_.end()) sim.cancel(it->second);

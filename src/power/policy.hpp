@@ -6,7 +6,10 @@
 // notifications from the storage system.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "disk/disk.hpp"
@@ -28,6 +31,17 @@ class PowerPolicy {
   /// Composite policies forward the view to their delegates.
   virtual void set_failure_view(const fault::FailureView* fv) {
     failure_view_ = fv;
+  }
+
+  /// Cache path: lets the policy see dirty-set pressure (pending destage
+  /// blocks per disk) without depending on the cache layer. A disk with
+  /// pending destage work is about to receive internal writes, so spinning
+  /// it down would waste a wake cycle; FixedThreshold defers its timer
+  /// while the count is nonzero. Unset (the default) means no cache tier.
+  /// Composite policies forward the probe to their delegates.
+  using DestageProbe = std::function<std::uint64_t(DiskId)>;
+  virtual void set_destage_probe(DestageProbe probe) {
+    destage_probe_ = std::move(probe);
   }
 
   /// Called once before any request is injected. `disks` outlive the run.
@@ -56,8 +70,14 @@ class PowerPolicy {
     return failure_view_ != nullptr && failure_view_->rebuild_in_progress(k);
   }
 
+  /// Dirty blocks awaiting destage onto k; 0 without a cache tier.
+  std::uint64_t pending_destage(DiskId k) const {
+    return destage_probe_ ? destage_probe_(k) : 0;
+  }
+
  private:
   const fault::FailureView* failure_view_ = nullptr;
+  DestageProbe destage_probe_;
 };
 
 /// Baseline "always-on" configuration (the paper's normalisation target):

@@ -235,6 +235,14 @@ void emit_cells(std::ostream& os, const std::vector<CellResult>& results,
       break;
     }
   }
+  // Cache columns follow the same enabled-only rule as the fault columns.
+  bool any_cache = false;
+  for (const auto& r : results) {
+    if (r.status == CellStatus::kOk && r.result.cache_enabled) {
+      any_cache = true;
+      break;
+    }
+  }
 
   if (format == EmitFormat::kJson) {
     util::JsonWriter w(os);
@@ -274,6 +282,10 @@ void emit_cells(std::ostream& os, const std::vector<CellResult>& results,
                    {"unavailable", "mean_degraded_s", "rebuild_bytes",
                     "energy_delta_j"});
   }
+  if (any_cache) {
+    columns.insert(columns.end(),
+                   {"hit_ratio", "destaged", "mem_energy_j"});
+  }
   ResultTable t("sweep cells", std::move(columns));
   for (const auto& r : results) {
     const bool ok = r.status == CellStatus::kOk;
@@ -300,6 +312,13 @@ void emit_cells(std::ostream& os, const std::vector<CellResult>& results,
       } else {
         t.cell("");  // no fault-free twin in this sweep (or fault-free row)
       }
+    }
+    if (any_cache) {
+      const cache::CacheStats& cs = r.result.cache_stats;
+      const bool has = ok && r.result.cache_enabled;
+      t.cell(has ? cs.hit_ratio() : 0.0, 4)
+          .cell(has ? cs.destaged_blocks : 0)
+          .cell(has ? cs.memory_energy_joules : 0.0);
     }
   }
   t.emit(os, format);

@@ -37,6 +37,7 @@ void ExperimentParams::validate() const {
   EAS_REQUIRE_MSG(mwis_horizon >= 1, "mwis horizon must be >= 1");
   fault.validate(num_disks);
   obs.validate();
+  cache.validate();
   sink.validate();
   EAS_REQUIRE_MSG(!sink.with_trace || obs.trace.enabled,
                   "sink requests trace output but tracing is not enabled "
@@ -94,6 +95,7 @@ storage::SystemConfig system_config_for(const ExperimentParams& p) {
   cfg.initial_state = p.initial_state;
   cfg.fault = p.fault;
   cfg.obs = p.obs;
+  cfg.cache = p.cache;
   return cfg;
 }
 
@@ -113,6 +115,13 @@ std::string describe(const ExperimentParams& p) {
     }
     os << "scripted=" << p.fault.script.size() << " seed=" << p.fault.seed
        << "]";
+  }
+  // Likewise cache-free experiments: the tier appears only when enabled.
+  if (p.cache.enabled) {
+    os << " cache[" << cache::to_string(p.cache.policy)
+       << " blocks=" << p.cache.capacity_blocks
+       << " dirty=" << p.cache.dirty_capacity_blocks
+       << " mem_w_gib=" << p.cache.memory_watts_per_gib << "]";
   }
   return os.str();
 }

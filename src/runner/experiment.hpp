@@ -14,6 +14,7 @@
 #include <string_view>
 #include <utility>
 
+#include "cache/cache.hpp"
 #include "core/energy_model.hpp"
 #include "disk/disk.hpp"
 #include "fault/fault.hpp"
@@ -71,6 +72,12 @@ struct ExperimentParams {
   /// bit-identical results). Travels into SystemConfig like `fault`.
   obs::ObsConfig obs{};
 
+  /// Cache & destage tier (default: disabled, bit-identical to a build
+  /// without the subsystem). Travels into SystemConfig like `fault`;
+  /// emitters add hit/destage/memory-energy columns when any cell enables
+  /// it.
+  cache::CacheConfig cache{};
+
   /// Output-sink selection for harnesses that render through make_sink().
   /// validate() cross-checks it against `obs`: a sink cannot request trace
   /// or metrics output the run is not configured to produce.
@@ -116,6 +123,14 @@ class ExperimentBuilder {
   }
   ExperimentBuilder& initial_state(disk::DiskState s) { p_.initial_state = s; return *this; }
   ExperimentBuilder& fault(fault::FaultProfile f) { p_.fault = std::move(f); return *this; }
+  /// Enables the cache & destage tier with the given configuration (asking
+  /// for one implies enabling it). build() validates watermarks, latency
+  /// and capacities.
+  ExperimentBuilder& cache(cache::CacheConfig c) {
+    c.enabled = true;
+    p_.cache = c;
+    return *this;
+  }
   /// Enables structured tracing with the given recorder configuration
   /// (asking for a trace implies enabling it; pass categories/capacity as
   /// needed). build() validates the config.

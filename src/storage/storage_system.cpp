@@ -4,6 +4,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "cache/block_cache.hpp"
+#include "cache/write_back.hpp"
 #include "core/basic_schedulers.hpp"
 #include "power/oracle.hpp"
 #include "util/check.hpp"
@@ -106,6 +108,43 @@ std::string RunResult::to_json(bool include_disks) const {
     w.end_object();
   }
 
+  // Same rule for the cache tier and write off-loading: their objects exist
+  // only in runs that enabled them, so everything else keeps the old schema
+  // byte for byte.
+  if (cache_enabled) {
+    w.key("cache");
+    w.begin_object();
+    w.field("lookups", cache_stats.lookups);
+    w.field("hits_clean", cache_stats.hits_clean);
+    w.field("hits_dirty", cache_stats.hits_dirty);
+    w.field("misses", cache_stats.misses);
+    w.field("hit_ratio", cache_stats.hit_ratio());
+    w.field("insertions", cache_stats.insertions);
+    w.field("evictions", cache_stats.evictions);
+    w.field("writes_buffered", cache_stats.writes_buffered);
+    w.field("writes_through", cache_stats.writes_through);
+    w.field("destage_batches", cache_stats.destage_batches);
+    w.field("destaged_blocks", cache_stats.destaged_blocks);
+    w.field("destage_piggyback", cache_stats.destage_piggyback);
+    w.field("destage_forced", cache_stats.destage_forced);
+    w.field("dirty_redirected", cache_stats.dirty_redirected);
+    w.field("dirty_lost", cache_stats.dirty_lost);
+    w.field("lost_copies_dropped", cache_stats.lost_copies_dropped);
+    w.field("memory_energy_joules", cache_stats.memory_energy_joules);
+    w.end_object();
+  }
+  if (write_offload_enabled) {
+    w.key("write_offload");
+    w.begin_object();
+    w.field("writes_total", write_offload_stats.writes_total);
+    w.field("writes_home", write_offload_stats.writes_home);
+    w.field("writes_diverted", write_offload_stats.writes_diverted);
+    w.field("writes_woke_home", write_offload_stats.writes_woke_home);
+    w.field("reads_redirected", write_offload_stats.reads_redirected);
+    w.field("reclaims", write_offload_stats.reclaims);
+    w.end_object();
+  }
+
   if (include_disks) {
     w.key("disks");
     w.begin_array();
@@ -145,6 +184,7 @@ class System final : public core::SystemView {
     config_.power.validate();
     config_.perf.validate();
     config_.obs.validate();
+    config_.cache.validate();
     if (config_.obs.trace.enabled) {
       recorder_ = std::make_shared<obs::TraceRecorder>(config_.obs.trace);
       sim_.set_recorder(recorder_.get());
@@ -169,6 +209,39 @@ class System final : public core::SystemView {
         metrics_->summary(std::string("disk_seconds_") +
                           disk::to_string(static_cast<disk::DiskState>(s)));
       }
+      // Cache metrics come after the fixed prelude and only exist for
+      // cache-enabled runs, so the cache-off registry stays schema-stable.
+      if (config_.cache.enabled) {
+        m_cache_hits_ = metrics_->counter("cache_hits");
+        m_cache_misses_ = metrics_->counter("cache_misses");
+        m_writes_buffered_ = metrics_->counter("cache_writes_buffered");
+        m_destage_batches_ = metrics_->counter("destage_batches");
+        m_destaged_blocks_ = metrics_->counter("destaged_blocks");
+        m_dirty_occupancy_ = metrics_->summary("dirty_occupancy");
+        metrics_->gauge("cache_hit_ratio");
+        metrics_->gauge("cache_memory_energy_joules");
+      }
+    }
+    if (config_.cache.enabled) {
+      if (config_.cache.capacity_blocks > 0) {
+        read_cache_ = cache::BlockCache::make(config_.cache.policy,
+                                              config_.cache.capacity_blocks);
+      }
+      if (config_.cache.dirty_capacity_blocks > 0) {
+        wb_ = std::make_unique<cache::WriteBackBuffer>(
+            config_.cache.dirty_capacity_blocks, placement.num_disks());
+        // Force-destage thresholds in blocks; high is clamped to >= 1 so a
+        // tiny buffer still destages under pressure.
+        high_blocks_ = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   config_.cache.high_watermark *
+                   static_cast<double>(config_.cache.dirty_capacity_blocks)));
+        low_blocks_ = static_cast<std::size_t>(
+            config_.cache.low_watermark *
+            static_cast<double>(config_.cache.dirty_capacity_blocks));
+        policy_.set_destage_probe(
+            [this](DiskId k) { return wb_->pending(k); });
+      }
     }
     disks_.reserve(placement.num_disks());
     disk_ptrs_.reserve(placement.num_disks());
@@ -178,8 +251,18 @@ class System final : public core::SystemView {
       disk_ptrs_.push_back(disks_.back().get());
       disks_.back()->set_completion_callback(
           [this](const disk::Completion& c) { on_completion(c); });
-      disks_.back()->set_idle_callback(
-          [this](disk::Disk& d) { policy_.on_disk_idle(sim_, d); });
+      disks_.back()->set_idle_callback([this](disk::Disk& d) {
+        // Destage piggyback: the disk just went Idle, i.e. it is spinning
+        // with an empty queue — the cheapest possible moment to flush its
+        // dirty group. Issuing the batch drives it back to Active, so the
+        // policy is not consulted until the next (destage-free) idle.
+        if (wb_ != nullptr && wb_->pending(d.id()) > 0 &&
+            (view_ == nullptr || view_->accepts_io(d.id()))) {
+          destage_batch(d.id(), cache::DestageReason::kPiggyback);
+          return;
+        }
+        policy_.on_disk_idle(sim_, d);
+      });
     }
     if (config_.fault.enabled()) {
       view_ = std::make_unique<fault::FailureView>(placement.num_disks());
@@ -219,6 +302,9 @@ class System final : public core::SystemView {
   const fault::FailureView* failure_view() const override {
     return view_.get();
   }
+  std::uint64_t pending_destage(DiskId k) const override {
+    return wb_ != nullptr ? wb_->pending(k) : 0;
+  }
 
   sim::Simulator& simulator() { return sim_; }
   const std::vector<disk::Disk*>& disk_ptrs() const { return disk_ptrs_; }
@@ -239,6 +325,18 @@ class System final : public core::SystemView {
       ++*m_batches_;
       m_batch_size_->add(static_cast<double>(size));
     }
+  }
+
+  /// Cache tier front-end, consulted by every driver after note_arrival and
+  /// before any scheduling decision. Returns true when the tier absorbed
+  /// the request (it completes at DRAM latency and must not be routed);
+  /// false sends it down the ordinary disk path. With the tier disabled
+  /// this is a single branch and the disk path is untouched — bit-identical
+  /// to pre-cache behavior.
+  bool cache_absorb(const disk::Request& r) {
+    if (!config_.cache.enabled) return false;
+    if (r.is_read) return absorb_read(r);
+    return absorb_write(r);
   }
 
   /// `horizon` bounds fault injection (typically trace.end_time()): no
@@ -337,6 +435,19 @@ class System final : public core::SystemView {
       r.faults_enabled = true;
       r.fault_stats = injector_->stats();
     }
+    if (config_.cache.enabled) {
+      // The tier's DRAM/NVRAM is powered for the whole run regardless of
+      // traffic; charging it here keeps the energy story honest.
+      cache_stats_.memory_energy_joules =
+          config_.cache.memory_energy_joules(horizon);
+      r.cache_enabled = true;
+      r.cache_stats = cache_stats_;
+      if (metrics_ != nullptr) {
+        *metrics_->gauge("cache_hit_ratio") = cache_stats_.hit_ratio();
+        *metrics_->gauge("cache_memory_energy_joules") =
+            cache_stats_.memory_energy_joules;
+      }
+    }
     if (metrics_ != nullptr) {
       // End-of-run aggregates: per-disk state-time summaries and the energy
       // gauges. Disks are folded in id order, so the Welford state is a pure
@@ -383,11 +494,206 @@ class System final : public core::SystemView {
   };
 
   static constexpr RequestId kInternalBit = RequestId{1} << 63;
+  /// Distinguishes destage writes from rebuild traffic inside the internal
+  /// id space; both carry the target disk in bits [32,62).
+  static constexpr RequestId kDestageBit = RequestId{1} << 62;
   static RequestId internal_id(DiskId target, std::uint32_t epoch) {
     return kInternalBit | (static_cast<RequestId>(target) << 32) | epoch;
   }
+  static RequestId destage_id(DiskId target, std::uint32_t seq) {
+    return kInternalBit | kDestageBit |
+           (static_cast<RequestId>(target) << 32) | seq;
+  }
+  static bool is_destage(RequestId id) { return (id & kDestageBit) != 0; }
   static DiskId internal_target(RequestId id) {
-    return static_cast<DiskId>((id & ~kInternalBit) >> 32);
+    return static_cast<DiskId>((id & ~(kInternalBit | kDestageBit)) >> 32);
+  }
+
+  // ---- cache tier ----
+
+  bool absorb_read(const disk::Request& r) {
+    ++cache_stats_.lookups;
+    // Dirty hit: the buffer holds the authoritative copy (the disk's is
+    // stale until destage), so it always serves — even degraded.
+    if (wb_ != nullptr && wb_->contains(r.data)) {
+      ++cache_stats_.hits_dirty;
+      if (m_cache_hits_ != nullptr) ++*m_cache_hits_;
+      EAS_OBS(sim_.recorder(), cache_event(sim_.now(), obs::Ev::kCacheHit,
+                                           r.id, r.data, /*dirty=*/1));
+      complete_from_cache(r);
+      return true;
+    }
+    if (read_cache_ != nullptr && read_cache_->contains(r.data)) {
+      // The cache must never mask a lost block: when the last disk replica
+      // is gone, drop the cached copy and let the ordinary path count the
+      // request unavailable — exactly as it would without a cache.
+      if (view_ != nullptr && view_->degraded() &&
+          view_->first_live(placement_, r.data) == kInvalidDisk) {
+        read_cache_->erase(r.data);
+        ++cache_stats_.lost_copies_dropped;
+        ++cache_stats_.misses;
+        if (m_cache_misses_ != nullptr) ++*m_cache_misses_;
+        return false;
+      }
+      read_cache_->lookup(r.data);  // promote
+      ++cache_stats_.hits_clean;
+      if (m_cache_hits_ != nullptr) ++*m_cache_hits_;
+      EAS_OBS(sim_.recorder(), cache_event(sim_.now(), obs::Ev::kCacheHit,
+                                           r.id, r.data, /*dirty=*/0));
+      complete_from_cache(r);
+      return true;
+    }
+    ++cache_stats_.misses;
+    if (m_cache_misses_ != nullptr) ++*m_cache_misses_;
+    EAS_OBS(sim_.recorder(),
+            cache_event(sim_.now(), obs::Ev::kCacheMiss, r.id, r.data));
+    return false;
+  }
+
+  bool absorb_write(const disk::Request& r) {
+    // Write-through fallback: no buffer configured, or the buffer is full.
+    if (wb_ == nullptr) {
+      ++cache_stats_.writes_through;
+      return false;
+    }
+    // Home = first replica location accepting I/O; deterministic, and the
+    // destage lands on a disk that stores the block by construction. All
+    // replicas dead => the write is unavailable (cache must not hide it).
+    DiskId home = kInvalidDisk;
+    for (const DiskId loc : placement_.locations(r.data)) {
+      if (view_ == nullptr || view_->accepts_io(loc)) {
+        home = loc;
+        break;
+      }
+    }
+    if (home == kInvalidDisk) {
+      note_unavailable();
+      return true;  // absorbed: there is no disk to route it to
+    }
+    // A block not currently pending (new, or reactivated from in-flight)
+    // gets a fresh admission time from put() and needs its own deadline.
+    const bool fresh = !wb_->is_pending(r.data);
+    if (!wb_->put(r.data, home, sim_.now())) {
+      ++cache_stats_.writes_through;
+      return false;
+    }
+    ++cache_stats_.writes_buffered;
+    if (m_writes_buffered_ != nullptr) ++*m_writes_buffered_;
+    if (m_dirty_occupancy_ != nullptr) {
+      m_dirty_occupancy_->add(static_cast<double>(wb_->size()));
+    }
+    EAS_OBS(sim_.recorder(), cache_event(sim_.now(), obs::Ev::kWriteBuffered,
+                                         r.id, r.data, home));
+    // The buffered copy supersedes any clean cached one.
+    if (read_cache_ != nullptr) read_cache_->erase(r.data);
+    complete_from_cache(r);
+    if (fresh) {
+      // Deadline backstop for this admission. The admission time doubles as
+      // an incarnation token: if the block destages and is re-admitted, the
+      // stale event no-ops and the fresh admission armed its own.
+      const DataId b = r.data;
+      const double admit = sim_.now();
+      sim_.schedule_in(config_.cache.destage_deadline_seconds,
+                       [this, b, admit] {
+                         if (wb_ == nullptr || !wb_->is_pending(b)) return;
+                         if (wb_->buffered_at(b) != admit) return;
+                         destage_batch(wb_->home_of(b),
+                                       cache::DestageReason::kDeadline);
+                       });
+    }
+    // Opportunistic flush: the home disk is spinning with an empty queue,
+    // so the write-back costs no extra spin-up.
+    if (disks_[home]->state() == disk::DiskState::Idle &&
+        disks_[home]->queued_requests() == 0) {
+      destage_batch(home, cache::DestageReason::kPiggyback);
+    }
+    if (wb_->size() >= high_blocks_) force_destage_to_low();
+    return true;
+  }
+
+  /// Completes an absorbed request at DRAM latency: it never touches a
+  /// disk, but it is a foreground completion like any other.
+  void complete_from_cache(const disk::Request& r) {
+    sim_.schedule_in(config_.cache.dram_latency_seconds, [this, r] {
+      const double t = sim_.now();
+      last_completion_ = std::max(last_completion_, t);
+      ++completed_;
+      responses_.add(t - r.arrival_time);
+      if (metrics_ != nullptr) {
+        ++*m_completed_;
+        m_response_->add(t - r.arrival_time);
+      }
+    });
+  }
+
+  void insert_clean(DataId b) {
+    ++cache_stats_.insertions;
+    if (read_cache_->insert(b) != kInvalidData) ++cache_stats_.evictions;
+  }
+
+  /// Issues one batch (<= max_destage_batch) of disk k's pending dirty
+  /// blocks as internal writes.
+  void destage_batch(DiskId k, cache::DestageReason reason) {
+    EAS_ASSERT(wb_ != nullptr);
+    EAS_ASSERT(view_ == nullptr || view_->accepts_io(k));
+    destage_buf_.clear();
+    const std::size_t n = wb_->begin_destage(
+        k, config_.cache.max_destage_batch, destage_buf_);
+    if (n == 0) return;
+    ++cache_stats_.destage_batches;
+    cache_stats_.destaged_blocks += n;
+    if (reason == cache::DestageReason::kPiggyback) {
+      ++cache_stats_.destage_piggyback;
+    } else {
+      ++cache_stats_.destage_forced;
+    }
+    if (m_destage_batches_ != nullptr) ++*m_destage_batches_;
+    if (m_destaged_blocks_ != nullptr) *m_destaged_blocks_ += n;
+    EAS_OBS(sim_.recorder(),
+            cache_event(sim_.now(), obs::Ev::kDestageBegin, k, n,
+                        static_cast<std::uint32_t>(reason)));
+    for (const DataId b : destage_buf_) {
+      disk::Request w;
+      w.id = destage_id(k, destage_seq_++);
+      w.data = b;
+      w.size_bytes = config_.cache.block_bytes;
+      w.arrival_time = sim_.now();
+      w.internal = true;
+      w.is_read = false;
+      dispatch_unchecked(w, k);
+    }
+  }
+
+  /// Watermark pressure: drive the post-completion occupancy down to the
+  /// low watermark, largest pending group first (lowest disk id ties).
+  /// Occupancy counts in-flight blocks too, so the loop bounds what will
+  /// *remain* after the issued writes land rather than waiting on them.
+  void force_destage_to_low() {
+    while (wb_->pending_total() > low_blocks_) {
+      DiskId pick = kInvalidDisk;
+      std::uint64_t best = 0;
+      for (DiskId k = 0; k < static_cast<DiskId>(wb_->num_disks()); ++k) {
+        if (wb_->pending(k) > best) {
+          best = wb_->pending(k);
+          pick = k;
+        }
+      }
+      if (pick == kInvalidDisk) break;
+      destage_batch(pick, cache::DestageReason::kWatermark);
+    }
+  }
+
+  void on_destage_complete(const disk::Completion& c) {
+    const DataId b = c.request.data;
+    // Stale after a disk death drained and re-homed the block.
+    if (wb_ == nullptr || !wb_->complete(b)) return;
+    EAS_OBS(sim_.recorder(), cache_event(sim_.now(), obs::Ev::kDestageDone,
+                                         c.disk, b));
+    if (m_dirty_occupancy_ != nullptr) {
+      m_dirty_occupancy_->add(static_cast<double>(wb_->size()));
+    }
+    // The block is clean on disk now and demonstrably warm: admit it.
+    if (read_cache_ != nullptr) insert_clean(b);
   }
 
   fault::FaultStats& stats() { return injector_->stats(); }
@@ -417,6 +723,11 @@ class System final : public core::SystemView {
       if (c.waited_for_spinup) ++*m_waited_;
       m_response_->add(c.response_seconds());
     }
+    // Miss path populates the read cache: the block was just fetched from
+    // disk and is the most-recently-used thing in the system.
+    if (read_cache_ != nullptr && c.request.is_read) {
+      insert_clean(c.request.data);
+    }
   }
 
   /// Fail-stop/transient handler: abort any rebuild targeting the disk,
@@ -431,6 +742,9 @@ class System final : public core::SystemView {
     }
     for (const disk::Request& r : disks_[k]->take_pending()) {
       if (r.internal) {
+        // Queued destage writes die with the disk; their blocks are still
+        // safe in the buffer and get re-homed by the drain below.
+        if (is_destage(r.id)) continue;
         const DiskId target = internal_target(r.id);
         if (target == k) continue;  // write onto the dying disk: dropped
         // A rebuild's source read was queued here; retry from another
@@ -449,6 +763,43 @@ class System final : public core::SystemView {
       } else {
         note_failover();
         dispatch(r, alt);  // arrival_time kept: failover delay is visible
+      }
+    }
+    // Dirty blocks homed on the dead disk are still safe in NVRAM, but
+    // their destage target is gone: re-home each onto its first replica
+    // location still accepting I/O (a forced redirect, counted as a
+    // failover), or count the data unavailable when none is left. The
+    // cache never masks a lost block.
+    if (wb_ != nullptr) {
+      drain_buf_.clear();
+      if (wb_->drain(k, drain_buf_) > 0) {
+        for (const DataId b : drain_buf_) {
+          DiskId new_home = kInvalidDisk;
+          for (const DiskId loc : placement_.locations(b)) {
+            if (loc != k && view_->accepts_io(loc)) {
+              new_home = loc;
+              break;
+            }
+          }
+          if (new_home == kInvalidDisk) {
+            ++cache_stats_.dirty_lost;
+            note_unavailable();
+            continue;
+          }
+          const bool ok = wb_->put(b, new_home, sim_.now());
+          EAS_ENSURE_MSG(ok, "re-homed dirty block " << b
+                                                     << " no longer fits");
+          ++cache_stats_.dirty_redirected;
+          note_failover();
+          const double admit = sim_.now();
+          sim_.schedule_in(config_.cache.destage_deadline_seconds,
+                           [this, b, admit] {
+                             if (wb_ == nullptr || !wb_->is_pending(b)) return;
+                             if (wb_->buffered_at(b) != admit) return;
+                             destage_batch(wb_->home_of(b),
+                                           cache::DestageReason::kDeadline);
+                           });
+        }
       }
     }
   }
@@ -523,6 +874,10 @@ class System final : public core::SystemView {
   }
 
   void on_internal_completion(const disk::Completion& c) {
+    if (is_destage(c.request.id)) {
+      on_destage_complete(c);
+      return;
+    }
     const DiskId target = internal_target(c.request.id);
     auto it = rebuilds_.find(target);
     if (it == rebuilds_.end() ||
@@ -584,6 +939,17 @@ class System final : public core::SystemView {
   std::unordered_map<DiskId, RebuildState> rebuilds_;
   std::uint32_t rebuild_epoch_ = 0;
 
+  /// Cache tier; both null (and every hook a single branch) when the config
+  /// leaves the tier disabled.
+  std::unique_ptr<cache::BlockCache> read_cache_;
+  std::unique_ptr<cache::WriteBackBuffer> wb_;
+  cache::CacheStats cache_stats_{};
+  std::size_t high_blocks_ = 0;
+  std::size_t low_blocks_ = 0;
+  std::uint32_t destage_seq_ = 0;
+  std::vector<DataId> destage_buf_;
+  std::vector<DataId> drain_buf_;
+
   stats::SampleStore responses_;
   std::uint64_t completed_ = 0;
   std::uint64_t waited_spinup_ = 0;
@@ -605,6 +971,12 @@ class System final : public core::SystemView {
   stats::SummaryStats* m_batch_size_ = nullptr;
   stats::SummaryStats* m_queue_depth_ = nullptr;
   stats::Histogram* m_response_ = nullptr;
+  std::uint64_t* m_cache_hits_ = nullptr;
+  std::uint64_t* m_cache_misses_ = nullptr;
+  std::uint64_t* m_writes_buffered_ = nullptr;
+  std::uint64_t* m_destage_batches_ = nullptr;
+  std::uint64_t* m_destaged_blocks_ = nullptr;
+  stats::SummaryStats* m_dirty_occupancy_ = nullptr;
 };
 
 disk::Request make_request(RequestId id, const trace::TraceRecord& rec) {
@@ -612,6 +984,7 @@ disk::Request make_request(RequestId id, const trace::TraceRecord& rec) {
   r.id = id;
   r.data = rec.data;
   r.size_bytes = rec.size_bytes;
+  r.is_read = rec.is_read;
   r.arrival_time = rec.time;
   r.dispatch_time = rec.time;
   return r;
@@ -629,6 +1002,7 @@ RunResult run_online(const SystemConfig& config,
     sim.schedule_at(trace[i].time, [&system, &sched, &trace, i] {
       const disk::Request r = make_request(i, trace[i]);
       system.note_arrival(r);
+      if (system.cache_absorb(r)) return;
       system.route(r, sched.pick(r, system));
     });
   }
@@ -652,9 +1026,13 @@ RunResult run_batch(const SystemConfig& config,
   auto remaining = std::make_shared<std::size_t>(trace.size());
   for (std::size_t i = 0; i < trace.size(); ++i) {
     sim.schedule_at(trace[i].time, [pending, remaining, &system, &trace, i] {
-      pending->push_back(make_request(i, trace[i]));
-      system.note_arrival(pending->back());
+      const disk::Request r = make_request(i, trace[i]);
+      system.note_arrival(r);
       --*remaining;
+      // The cache sits in front of the batch queue: absorbed requests
+      // complete at DRAM latency instead of waiting for the next tick.
+      if (system.cache_absorb(r)) return;
+      pending->push_back(r);
     });
   }
 
@@ -707,6 +1085,7 @@ RunResult run_offline(const SystemConfig& config,
     sim.schedule_at(trace[i].time, [&system, &trace, i, k] {
       const disk::Request r = make_request(i, trace[i]);
       system.note_arrival(r);
+      if (system.cache_absorb(r)) return;
       system.route(r, k);
     });
   }
@@ -735,6 +1114,10 @@ RunResult run_online_mixed(const SystemConfig& config,
   // fault profile it would silently ignore.
   EAS_REQUIRE_MSG(!config.fault.enabled(),
                   "write-offload runs do not support fault injection");
+  // The off-loader and the cache tier are alternative write paths; running
+  // both would double-absorb writes. Pick one per experiment.
+  EAS_REQUIRE_MSG(!config.cache.enabled,
+                  "write-offload runs do not support the cache tier");
   System system(config, placement, policy);
   auto& sim = system.simulator();
   for (std::size_t i = 0; i < trace.size(); ++i) {
@@ -756,7 +1139,10 @@ RunResult run_online_mixed(const SystemConfig& config,
     });
   }
   system.start(trace.end_time());
-  return system.finish(sched.name() + "+write-offload");
+  RunResult result = system.finish(sched.name() + "+write-offload");
+  result.write_offload_enabled = true;
+  result.write_offload_stats = offloader.stats();
+  return result;
 }
 
 }  // namespace eas::storage

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache.hpp"
 #include "core/scheduler.hpp"
 #include "core/write_offload.hpp"
 #include "disk/disk.hpp"
@@ -36,6 +37,10 @@ struct SystemConfig {
   /// registry exists: every instrumentation site reduces to one null-pointer
   /// branch and results are bit-identical to pre-observability builds.
   obs::ObsConfig obs{};
+  /// Cache & destage tier. Default-constructed (disabled) keeps the tier
+  /// dormant — no cache objects exist and results are bit-identical to
+  /// builds without the subsystem.
+  cache::CacheConfig cache{};
 };
 
 /// Everything a run produces; the figures are all derived from this.
@@ -52,6 +57,15 @@ struct RunResult {
   /// fault-free output is byte-identical to the pre-fault schema.
   bool faults_enabled = false;
   fault::FaultStats fault_stats{};
+  /// Same enabled-only emission rule for the cache tier: the "cache" JSON
+  /// object and hit/destage/memory-energy columns exist only when the run's
+  /// SystemConfig carried an enabled CacheConfig.
+  bool cache_enabled = false;
+  cache::CacheStats cache_stats{};
+  /// And for §2.1 write off-loading: run_online_mixed sets this so diverted/
+  /// reclaimed counters land in the same JSON as cache destage counters.
+  bool write_offload_enabled = false;
+  core::WriteOffloadStats write_offload_stats{};
   /// Present only when the run's ObsConfig asked for them; to_json() does
   /// not serialize either (the trace/metrics sinks own those formats), so
   /// the result schema is untouched by observability.

@@ -1,0 +1,9 @@
+#pragma once
+
+#include "util/ids.hpp"  // allowed: cache -> util
+
+namespace fx {
+struct BlockCache {
+  BlockId last = 0;
+};
+}  // namespace fx

@@ -1,0 +1,15 @@
+// Fixture: the event kernel reaching into the cache tier inverts the
+// layering (storage wires the cache above the kernel, never the reverse).
+#include "util/ids.hpp"  // allowed: sim -> util
+
+#include "cache/block_cache.hpp"  // expect: layering-forbidden-include
+
+namespace fx {
+
+int touch() {
+  BlockCache c;
+  c.last = 1;
+  return static_cast<int>(c.last);
+}
+
+}  // namespace fx

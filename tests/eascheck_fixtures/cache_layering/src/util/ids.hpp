@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fx {
+using BlockId = unsigned long long;
+}  // namespace fx

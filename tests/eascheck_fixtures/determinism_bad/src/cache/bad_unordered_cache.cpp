@@ -1,0 +1,18 @@
+// Fixture: range-for over an unordered container inside the cache tier.
+// Eviction and destage order feed disk wake-ups, so cache is a decision
+// module: lookups may hash, iteration must walk the ordered structures.
+#include <unordered_map>
+
+namespace fx {
+
+unsigned long long pick_victim() {
+  std::unordered_map<unsigned long long, int> resident;
+  resident[7] = 1;
+  unsigned long long victim = 0;
+  for (const auto& kv : resident) {  // expect: determinism-unordered-iter
+    victim = kv.first;
+  }
+  return victim;
+}
+
+}  // namespace fx

@@ -58,10 +58,10 @@ TEST(Eascheck, DeterminismBadFindsEveryBannedConstruct) {
   const RunResult r = run_eascheck("--root " + fixture("determinism_bad") +
                                    " --rules determinism");
   EXPECT_EQ(r.exit_code, 1) << r.output;
-  EXPECT_EQ(summary(r.output, "findings"), 16) << r.output;
+  EXPECT_EQ(summary(r.output, "findings"), 17) << r.output;
   EXPECT_EQ(count_of(r.output, "[determinism-libc-rand]"), 2);
   EXPECT_EQ(count_of(r.output, "[determinism-time-seed]"), 2);
-  EXPECT_EQ(count_of(r.output, "[determinism-unordered-iter]"), 1);
+  EXPECT_EQ(count_of(r.output, "[determinism-unordered-iter]"), 2);
   EXPECT_EQ(count_of(r.output, "[determinism-random-device]"), 1);
   EXPECT_EQ(count_of(r.output, "[determinism-system-clock]"), 1);
   EXPECT_EQ(count_of(r.output, "[determinism-fault-stdlib-rng]"), 3);
@@ -126,6 +126,20 @@ TEST(Eascheck, LayeringUnusedRuleIsAnError) {
   EXPECT_EQ(r.exit_code, 1) << r.output;
   EXPECT_EQ(summary(r.output, "findings"), 1) << r.output;
   EXPECT_EQ(count_of(r.output, "[layering-unused-rule]"), 1);
+}
+
+TEST(Eascheck, CacheLayeringPinsForbiddenSimCacheEdge) {
+  // The storage layer owns all cache wiring; the event kernel must never
+  // include the cache tier. Both allowed edges (cache->util, sim->util) are
+  // exercised so the single finding is the pinned forbidden include.
+  const std::string root = fixture("cache_layering");
+  const RunResult r = run_eascheck("--root " + root + " --rules layering" +
+                                   " --manifest " + root + "/layers.toml");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(summary(r.output, "findings"), 1) << r.output;
+  EXPECT_EQ(count_of(r.output, "[layering-forbidden-include]"), 1);
+  EXPECT_NE(r.output.find("sim/kernel.cpp"), std::string::npos) << r.output;
+  EXPECT_EQ(count_of(r.output, "[layering-unused-rule]"), 0);
 }
 
 TEST(Eascheck, LayeringDetectsRealizedCycle) {

@@ -39,7 +39,7 @@ TEST(ObsVocabulary, PowerStateNamesMatchDiskToString) {
 }
 
 TEST(ObsVocabulary, EveryEventHasANameAndACategory) {
-  for (int e = 0; e <= static_cast<int>(obs::Ev::kPolicyCancel); ++e) {
+  for (int e = 0; e <= static_cast<int>(obs::Ev::kDestageDone); ++e) {
     const auto ev = static_cast<obs::Ev>(e);
     EXPECT_STRNE(to_string(ev), "?") << "event " << e;
     const obs::Cat cat = obs::category_of(ev);

@@ -7,7 +7,9 @@ Usage: tools/bench_compare.py [--baseline BENCH_micro.baseline.json]
                               [--output delta.md]
 
 Prints a markdown delta table (new/removed benchmarks included) and exits 1
-when any benchmark's real_time regressed by more than the threshold. Wall
+when any benchmark's real_time regressed by more than the threshold. The
+footer summary counts new and removed benchmarks so a rename that silently
+drops a bench from the baseline shows up even when nothing regressed. Wall
 clock on shared runners is noisy, so CI runs this job non-gating
 (continue-on-error) and publishes the table as an artifact — the exit code is
 a signal for humans reading the job summary, not a merge gate. Local runs on
@@ -89,14 +91,17 @@ def main():
         with open(args.output, "w") as f:
             f.write(table)
 
+    new = len(set(cur_bm) - set(base_bm))
+    removed = len(set(base_bm) - set(cur_bm))
+    churn = f"{new} new, {removed} removed vs baseline"
     if regressions:
         worst = max(regressions, key=lambda r: r[1])
         print(f"\nbench_compare: {len(regressions)} regression(s) beyond "
-              f"+{args.threshold:.0%}; worst: {worst[0]} ({worst[1]:+.1%})",
-              file=sys.stderr)
+              f"+{args.threshold:.0%}; worst: {worst[0]} ({worst[1]:+.1%}); "
+              f"{churn}", file=sys.stderr)
         return 1
     print(f"\nbench_compare: no regressions beyond +{args.threshold:.0%} "
-          f"({len(cur_bm)} benchmarks)", file=sys.stderr)
+          f"({len(cur_bm)} benchmarks; {churn})", file=sys.stderr)
     return 0
 
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Records a micro-benchmark trajectory point: runs the three micro_* google
+# Records a micro-benchmark trajectory point: runs the micro_* google
 # benchmarks with --benchmark_format=json and normalizes the output into one
 # compact JSON document (items/sec per benchmark plus the commit hash), so
 # speedups across PRs are *recorded*, not asserted from memory.
@@ -23,7 +23,8 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$root/build}"
 out="${2:-$root/BENCH_micro.json}"
 
-benches=(bench_micro_kernel bench_micro_algorithms bench_micro_schedulers)
+benches=(bench_micro_kernel bench_micro_algorithms bench_micro_schedulers
+  bench_micro_cache)
 for b in "${benches[@]}"; do
   if [[ ! -x "$build/bench/$b" ]]; then
     echo "bench_record: $build/bench/$b not built (cmake --build $build --target $b)" >&2

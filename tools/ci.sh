@@ -11,6 +11,8 @@
 #      end: the degraded-mode surface on its own, attributable stage)
 #   4b. obs smoke (obs-smoke label + the allocation-counting binary: the
 #      tracing/metrics surface and its zero-overhead-when-off proof)
+#   4c. cache smoke (cache-smoke label + the cache-tier ablation: the
+#      power-aware cache & destage surface on its own, attributable stage)
 #   5. audit build (EASCHED_AUDIT=ON): every EAS_ASSERT/EAS_AUDIT compiled
 #      into the release binary, full suite again
 #   6. ASan+UBSan smoke (sanitize-smoke preset, reduced request counts)
@@ -102,6 +104,16 @@ stage_obs() {
   ./build/tests/test_sim_alloc > /dev/null
 }
 
+# Cache & destage tier on its own label: replacement-policy goldens, the
+# write-back lifecycle, the piggyback/watermark/deadline destage paths and
+# the cache-off bit-identity contract, plus the cache ablation end to end.
+stage_cache() {
+  cmake --preset default
+  cmake --build --preset default -j "$jobs"
+  ctest --preset cache-smoke -j "$jobs"
+  EAS_REQUESTS=3000 ./build/bench/bench_ablation_cache_tier > /dev/null
+}
+
 stage_lint() {
   if ! command -v clang-tidy > /dev/null 2>&1; then
     if [[ "${EAS_CI:-0}" == "1" ]]; then
@@ -130,6 +142,7 @@ run_stage eascheck stage_eascheck
 run_stage default stage_default
 run_stage fault stage_fault
 run_stage obs stage_obs
+run_stage cache stage_cache
 run_stage audit stage_audit
 run_stage asan stage_asan
 run_stage tsan stage_tsan

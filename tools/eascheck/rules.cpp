@@ -21,7 +21,7 @@ const std::set<std::string> kUnorderedTypes = {
 
 /// Modules whose iteration order feeds scheduling/power/placement decisions.
 const std::set<std::string> kDecisionModules = {
-    "core", "power", "graph", "placement", "runner", "fault"};
+    "core", "power", "graph", "placement", "runner", "fault", "cache"};
 
 /// stdlib RNG engines banned in src/fault/ (variates must come from the
 /// seeded util::Rng streams keyed off FaultProfile::seed).
