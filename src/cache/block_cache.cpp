@@ -81,7 +81,10 @@ DataId ArcBlockCache::replace(bool hit_in_b2) {
   EAS_ASSERT(!t1_.empty() || !t2_.empty());
   const std::size_t t1 = t1_.size();
   DataId victim;
-  if (!t1_.empty() && (t1 > p_ || (hit_in_b2 && t1 == p_))) {
+  // Prefer T1 per the ARC target p_, but fall back to whichever resident
+  // list is non-empty: erase() (write-buffer invalidation, lost replicas)
+  // can drain either list independently of p_.
+  if (!t1_.empty() && (t2_.empty() || t1 > p_ || (hit_in_b2 && t1 == p_))) {
     victim = t1_.back();
     t1_.pop_back();
     b1_.push_front(victim);
@@ -129,7 +132,11 @@ DataId ArcBlockCache::insert(DataId b) {
                 ? 1
                 : b2_.size() / b1_.size();
         p_ = std::min(capacity_, p_ + delta);
-        const DataId evicted = replace(/*hit_in_b2=*/false);
+        // erase() may have left the resident set below capacity; only evict
+        // when promoting the ghost would actually overflow T1 ∪ T2.
+        const DataId evicted = t1_.size() + t2_.size() >= capacity_
+                                   ? replace(/*hit_in_b2=*/false)
+                                   : kInvalidData;
         t2_.splice(t2_.begin(), b1_, e.it);
         e.where = Where::kT2;
         return evicted;
@@ -142,7 +149,9 @@ DataId ArcBlockCache::insert(DataId b) {
                 ? 1
                 : b1_.size() / b2_.size();
         p_ = delta >= p_ ? 0 : p_ - delta;
-        const DataId evicted = replace(/*hit_in_b2=*/true);
+        const DataId evicted = t1_.size() + t2_.size() >= capacity_
+                                   ? replace(/*hit_in_b2=*/true)
+                                   : kInvalidData;
         t2_.splice(t2_.begin(), b2_, e.it);
         e.where = Where::kT2;
         return evicted;
@@ -156,7 +165,9 @@ DataId ArcBlockCache::insert(DataId b) {
     if (t1_.size() < capacity_) {
       index_.erase(b1_.back());
       b1_.pop_back();
-      evicted = replace(/*hit_in_b2=*/false);
+      if (t1_.size() + t2_.size() >= capacity_) {
+        evicted = replace(/*hit_in_b2=*/false);
+      }
     } else {
       // B1 empty, T1 full: discard T1's LRU outright (no ghost — the
       // directory slot is needed for the newcomer).

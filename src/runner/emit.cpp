@@ -315,10 +315,15 @@ void emit_cells(std::ostream& os, const std::vector<CellResult>& results,
     }
     if (any_cache) {
       const cache::CacheStats& cs = r.result.cache_stats;
-      const bool has = ok && r.result.cache_enabled;
-      t.cell(has ? cs.hit_ratio() : 0.0, 4)
-          .cell(has ? cs.destaged_blocks : 0)
-          .cell(has ? cs.memory_energy_joules : 0.0);
+      if (ok && r.result.cache_enabled) {
+        t.cell(cs.hit_ratio(), 4)
+            .cell(cs.destaged_blocks)
+            .cell(cs.memory_energy_joules);
+      } else {
+        // Cache-off cell in a mixed sweep: blank, not a measured zero
+        // (same convention as the fault columns above).
+        t.cell("").cell("").cell("");
+      }
     }
   }
   t.emit(os, format);

@@ -495,18 +495,22 @@ class System final : public core::SystemView {
 
   static constexpr RequestId kInternalBit = RequestId{1} << 63;
   /// Distinguishes destage writes from rebuild traffic inside the internal
-  /// id space; both carry the target disk in bits [32,62).
+  /// id space; both carry the target disk in bits [32,62). The target field
+  /// is exactly 30 bits wide so it can never bleed into kDestageBit.
   static constexpr RequestId kDestageBit = RequestId{1} << 62;
+  static constexpr RequestId kTargetMask = (RequestId{1} << 30) - 1;
   static RequestId internal_id(DiskId target, std::uint32_t epoch) {
+    EAS_REQUIRE((target & ~kTargetMask) == 0);
     return kInternalBit | (static_cast<RequestId>(target) << 32) | epoch;
   }
   static RequestId destage_id(DiskId target, std::uint32_t seq) {
+    EAS_REQUIRE((target & ~kTargetMask) == 0);
     return kInternalBit | kDestageBit |
            (static_cast<RequestId>(target) << 32) | seq;
   }
   static bool is_destage(RequestId id) { return (id & kDestageBit) != 0; }
   static DiskId internal_target(RequestId id) {
-    return static_cast<DiskId>((id & ~(kInternalBit | kDestageBit)) >> 32);
+    return static_cast<DiskId>((id >> 32) & kTargetMask);
   }
 
   // ---- cache tier ----

@@ -204,6 +204,44 @@ TEST(ArcCache, EraseDropsResidentsAndGhosts) {
   ASSERT_GE(ghosts, 1u);
 }
 
+TEST(ArcCache, GhostHitsAfterEraseDrainsResidentsDoNotEvict) {
+  // Regression: erase() (write-buffer invalidation, lost replicas) can empty
+  // T1 and T2 while B1/B2 still hold ghosts. A later ghost hit (Case II/III)
+  // or a cold miss with |T1|+|B1| == c must then skip REPLACE instead of
+  // popping a victim from an empty resident list.
+  ArcBlockCache c(2);
+  c.insert(1);
+  c.lookup(1);                  // T2={1}
+  c.insert(2);                  // T1={2}, T2={1}
+  EXPECT_EQ(c.insert(3), 2u);   // T1={3}, T2={1}, B1={2}
+  EXPECT_TRUE(c.erase(3));
+  EXPECT_TRUE(c.erase(1));      // residents drained; ghost 2 survives in B1
+  EXPECT_EQ(c.t1_size() + c.t2_size(), 0u);
+  EXPECT_EQ(c.b1_size(), 1u);
+  // Case II ghost hit with spare room: promote, evict nothing.
+  EXPECT_EQ(c.insert(2), kInvalidData);
+  EXPECT_TRUE(c.lookup(2));
+  // Rebuild a B2 ghost the same way, then take the Case III path drained.
+  c.insert(4);                  // T1={4}, T2={2}
+  EXPECT_EQ(c.insert(5), 2u);   // T1={5,4}, T2={}, B2={2}
+  EXPECT_TRUE(c.erase(5));
+  EXPECT_TRUE(c.erase(4));      // residents drained; ghost 2 survives in B2
+  EXPECT_EQ(c.b2_size(), 1u);
+  EXPECT_EQ(c.insert(2), kInvalidData);  // Case III: no eviction
+  EXPECT_TRUE(c.contains(2));
+  // Cold miss with |T1|+|B1| == c but residents below capacity: the B1
+  // ghost is dropped for the newcomer's directory slot, nothing is evicted.
+  c.insert(6);                  // T1={6}, T2={2}
+  EXPECT_EQ(c.insert(7), 6u);   // T1={7}, T2={2}, B1={6}
+  EXPECT_TRUE(c.erase(7));
+  EXPECT_TRUE(c.erase(2));      // residents drained; ghost 6 survives in B1
+  EXPECT_EQ(c.insert(8), kInvalidData);  // T1={8}
+  EXPECT_EQ(c.insert(9), kInvalidData);  // |T1|+|B1| == c path, no victim
+  EXPECT_TRUE(c.contains(8));
+  EXPECT_TRUE(c.contains(9));
+  EXPECT_EQ(c.b1_size(), 0u);   // ghost 6 gave up its slot
+}
+
 TEST(BlockCacheFactory, MakesBothPolicies) {
   auto lru = BlockCache::make(CachePolicy::kLru, 8);
   auto arc = BlockCache::make(CachePolicy::kArc, 8);
