@@ -1,0 +1,47 @@
+// Micro-benchmarks: reliability-tier hot paths. backoff_delay runs once per
+// deadline miss and must stay a pure register computation (two hash mixes +
+// an ldexp); these benches track that constant factor so the retry path
+// never becomes a reason to avoid enabling the tier.
+#include <benchmark/benchmark.h>
+
+#include "reliability/retry_policy.hpp"
+
+using namespace eas;
+
+namespace {
+
+void BM_BackoffDelay(benchmark::State& state) {
+  const reliability::RetryPolicy policy(0.010, 1.0, 0.5, 0x5eed);
+  RequestId id = 0;
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += policy.backoff_delay(id, 2);
+    ++id;
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BackoffDelay);
+
+void BM_BackoffDelayAttemptLadder(benchmark::State& state) {
+  // One full retry ladder per iteration: the per-request worst case when
+  // every attempt up to the budget times out.
+  const reliability::RetryPolicy policy(0.010, 1.0, 0.5, 0x5eed);
+  const auto attempts = static_cast<std::uint32_t>(state.range(0));
+  RequestId id = 0;
+  double acc = 0.0;
+  for (auto _ : state) {
+    for (std::uint32_t a = 2; a <= attempts + 1; ++a) {
+      acc += policy.backoff_delay(id, a);
+    }
+    ++id;
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          attempts);
+}
+BENCHMARK(BM_BackoffDelayAttemptLadder)->Arg(3)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -30,9 +30,14 @@ DiskId CostFunctionScheduler::pick(const disk::Request& r,
     // amortizes its wake cost across the foreground read *and* the flush,
     // so its effective cost shrinks. Exactly the identity when no cache
     // tier exists (pending_destage == 0 everywhere).
+    // Backpressure penalty: an admission-control-saturated disk is priced
+    // up so load drains toward replicas with queue headroom. Identity when
+    // no reliability tier exists (backpressured is identically false).
+    const double pressured =
+        view.backpressured(k) ? base * kBackpressurePenalty : base;
     const double c =
-        base / (1.0 + kDestagePressureWeight *
-                          static_cast<double>(view.pending_destage(k)));
+        pressured / (1.0 + kDestagePressureWeight *
+                               static_cast<double>(view.pending_destage(k)));
     const bool sleeping = snap.state == disk::DiskState::Standby ||
                           snap.state == disk::DiskState::SpinningDown;
     // Lexicographic (cost, sleeping?, replica order): equal-cost ties go to

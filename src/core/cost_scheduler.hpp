@@ -20,6 +20,15 @@ namespace eas::core {
 /// picks are unchanged (bit-for-bit).
 inline constexpr double kDestagePressureWeight = 0.05;
 
+/// Multiplicative cost penalty applied by the cost-based schedulers to a
+/// replica whose disk the reliability tier reports as backpressured
+/// (SystemView::backpressured): its queue is above the admission-control
+/// watermark, so sending more work there risks shedding. 4x means a
+/// backpressured disk only wins when every alternative is at least that
+/// much worse; with no reliability tier the predicate is identically false
+/// and picks are unchanged (bit-for-bit).
+inline constexpr double kBackpressurePenalty = 4.0;
+
 class CostFunctionScheduler final : public OnlineScheduler {
  public:
   explicit CostFunctionScheduler(CostParams params = {}) : params_(params) {}

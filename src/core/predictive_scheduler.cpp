@@ -54,14 +54,17 @@ DiskId PredictiveCostScheduler::pick(const disk::Request& r,
     if (fv != nullptr && !fv->replica_readable(r.data, k)) continue;
     const double base = composite_cost(view.snapshot(k), now,
                                        view.power_params(), params_.cost);
-    // Predicted-load discount (gamma) and the same dirty-set pressure
-    // discount the plain cost scheduler applies (see cost_scheduler.hpp);
-    // both are exactly 1 when idle-rate/cache state is absent.
+    // Backpressure penalty first (identity without a reliability tier),
+    // then the predicted-load discount (gamma) and the same dirty-set
+    // pressure discount the plain cost scheduler applies (see
+    // cost_scheduler.hpp); all are exactly 1 when that state is absent.
+    const double pressured =
+        view.backpressured(k) ? base * kBackpressurePenalty : base;
     const double discount =
         (1.0 + params_.gamma * estimated_rate(k, now)) *
         (1.0 + kDestagePressureWeight *
                    static_cast<double>(view.pending_destage(k)));
-    const double c = base / discount;
+    const double c = pressured / discount;
     if (c < best_cost) {
       best_cost = c;
       best = k;

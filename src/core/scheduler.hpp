@@ -52,6 +52,15 @@ class SystemView {
     (void)k;
     return 0;
   }
+  /// True while the reliability tier's admission control reports disk `k`
+  /// above its backpressure watermark (false when no reliability tier
+  /// exists). Cost-based schedulers multiply a penalty into backpressured
+  /// candidates so load drains toward disks with queue headroom; with the
+  /// tier disabled this is identically false and scheduling is untouched.
+  virtual bool backpressured(DiskId k) const {
+    (void)k;
+    return false;
+  }
   DiskId num_disks() const { return placement().num_disks(); }
 };
 

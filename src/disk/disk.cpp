@@ -177,6 +177,26 @@ std::vector<Request> Disk::take_pending() {
   return drained;
 }
 
+bool Disk::remove_pending(RequestId id) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->request.id == id) {
+      queue_.erase(it);
+      // Mirror take_pending(): if the removed entry was the only reason to
+      // bounce back from an in-flight spin-down, drop the wake.
+      if (queue_.empty()) wake_after_spindown_ = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+RequestId Disk::oldest_queued_read() const {
+  for (const Pending& p : queue_) {
+    if (p.request.is_read && !p.request.internal) return p.request.id;
+  }
+  return kInvalidRequest;
+}
+
 void Disk::spin_up() {
   switch (state_) {
     case DiskState::Standby: {

@@ -26,6 +26,8 @@ const char* to_string(Cat c) {
       return "fault";
     case Cat::kCache:
       return "cache";
+    case Cat::kReliability:
+      return "reliability";
   }
   return "?";
 }
@@ -72,6 +74,18 @@ const char* to_string(Ev e) {
       return "destage-begin";
     case Ev::kDestageDone:
       return "destage-done";
+    case Ev::kDeadlineMiss:
+      return "deadline-miss";
+    case Ev::kRetry:
+      return "retry";
+    case Ev::kHedgeIssue:
+      return "hedge-issue";
+    case Ev::kHedgeWin:
+      return "hedge-win";
+    case Ev::kShed:
+      return "shed";
+    case Ev::kAbandon:
+      return "abandon";
   }
   return "?";
 }
@@ -105,6 +119,13 @@ Cat category_of(Ev e) {
     case Ev::kDestageBegin:
     case Ev::kDestageDone:
       return Cat::kCache;
+    case Ev::kDeadlineMiss:
+    case Ev::kRetry:
+    case Ev::kHedgeIssue:
+    case Ev::kHedgeWin:
+    case Ev::kShed:
+    case Ev::kAbandon:
+      return Cat::kReliability;
   }
   return Cat::kRequest;
 }
@@ -296,6 +317,12 @@ void TraceRecorder::append_chrome_events(util::JsonWriter& w, int pid,
       case Ev::kQueue:
       case Ev::kDispatch:
       case Ev::kComplete:
+      case Ev::kDeadlineMiss:
+      case Ev::kRetry:
+      case Ev::kHedgeIssue:
+      case Ev::kHedgeWin:
+      case Ev::kShed:
+      case Ev::kAbandon:
         emit_instant(w, pid, disk_tid(e.a), e);
         break;
       case Ev::kPolicyArm:

@@ -46,8 +46,9 @@ enum class Cat : std::uint8_t {
   kPolicy = 4,   ///< power-policy decisions (timer arm/cancel)
   kFault = 5,    ///< disk death / recovery
   kCache = 6,    ///< cache tier: hits, buffered writes, destage traffic
+  kReliability = 7,  ///< reliability tier: deadlines, retries, hedges, shed
 };
-inline constexpr int kNumCats = 7;
+inline constexpr int kNumCats = 8;
 
 constexpr std::uint32_t cat_bit(Cat c) {
   return 1u << static_cast<std::uint32_t>(c);
@@ -77,6 +78,12 @@ enum class Ev : std::uint8_t {
   kWriteBuffered = 17,  ///< write absorbed by the buffer   id=req  a=data b=home
   kDestageBegin = 18,   ///< destage batch issued           id=disk a=blocks b=reason
   kDestageDone = 19,    ///< one destaged block landed      id=disk a=data
+  kDeadlineMiss = 20,   ///< attempt exceeded its deadline  id=req  a=disk b=attempt
+  kRetry = 21,          ///< backoff re-dispatch issued     id=req  a=disk b=attempt
+  kHedgeIssue = 22,     ///< hedge copy dispatched          id=req  a=disk
+  kHedgeWin = 23,       ///< hedge copy completed first     id=req  a=disk
+  kShed = 24,           ///< read dropped by admission ctl  id=req  a=disk
+  kAbandon = 25,        ///< attempt budget exhausted       id=req  a=disk
 };
 
 const char* to_string(Ev e);
@@ -171,6 +178,10 @@ class TraceRecorder {
   void cache_event(double t, Ev ev, std::uint64_t id, std::uint64_t a = 0,
                    std::uint32_t b = 0) {
     record(t, ev, id, a, b);
+  }
+  void reliability_event(double t, Ev ev, std::uint64_t req,
+                         std::uint64_t disk, std::uint32_t arg = 0) {
+    record(t, ev, req, disk, arg);
   }
 
   /// Events still held (<= capacity). dropped() is how many older events

@@ -45,6 +45,12 @@ class CoveringSubsetPolicy final : public PowerPolicy {
     threshold_policy_.set_destage_probe(std::move(probe));
   }
 
+  /// And for hedge pins — the delegate's timers must see them too.
+  void set_hedge_probe(HedgeProbe probe) override {
+    PowerPolicy::set_hedge_probe(probe);
+    threshold_policy_.set_hedge_probe(std::move(probe));
+  }
+
   bool is_covering(DiskId k) const { return covering_.contains(k); }
   std::size_t covering_size() const { return covering_.size(); }
 

@@ -27,6 +27,11 @@ void FixedThresholdPolicy::on_disk_idle(sim::Simulator& sim, disk::Disk& d) {
   // arming a spin-down now would only race it. The destage's completion
   // re-enters via on_disk_idle once the group is flushed.
   if (pending_destage(d.id()) > 0) return;
+  // A disk pinned by a hedged in-flight pair is about to receive (or is
+  // racing) a hedge copy; spinning it down would price a full wake cycle
+  // into the very tail latency the hedge exists to cut. The pin release
+  // re-enters via on_disk_idle.
+  if (pending_hedges(d.id()) > 0) return;
   // Replace any stale timer: the disk has begun a fresh idle period.
   auto it = timers_.find(d.id());
   if (it != timers_.end()) sim.cancel(it->second);
@@ -41,7 +46,8 @@ void FixedThresholdPolicy::on_disk_idle(sim::Simulator& sim, disk::Disk& d) {
         // disk must still be idle; the check is a cheap belt-and-braces. The
         // pin can appear between arming and firing, so it is re-checked.
         if (dp->state() == disk::DiskState::Idle &&
-            dp->queued_requests() == 0 && !spin_down_blocked(dp->id())) {
+            dp->queued_requests() == 0 && !spin_down_blocked(dp->id()) &&
+            pending_hedges(dp->id()) == 0) {
           dp->spin_down();
         }
       });

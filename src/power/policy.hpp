@@ -44,6 +44,17 @@ class PowerPolicy {
     destage_probe_ = std::move(probe);
   }
 
+  /// Reliability path: lets the policy see hedged in-flight pairs per disk
+  /// without depending on the reliability layer. A disk holding the hedge
+  /// copy of a still-racing read must not spin down — the cancel-the-loser
+  /// bookkeeping assumes both copies stay dispatched until one completes.
+  /// Unset (the default) means no reliability tier. Composite policies
+  /// forward the probe to their delegates.
+  using HedgeProbe = std::function<std::uint64_t(DiskId)>;
+  virtual void set_hedge_probe(HedgeProbe probe) {
+    hedge_probe_ = std::move(probe);
+  }
+
   /// Called once before any request is injected. `disks` outlive the run.
   virtual void on_run_start(sim::Simulator& sim,
                             const std::vector<disk::Disk*>& disks) {
@@ -75,9 +86,15 @@ class PowerPolicy {
     return destage_probe_ ? destage_probe_(k) : 0;
   }
 
+  /// Hedged in-flight pairs touching k; 0 without a reliability tier.
+  std::uint64_t pending_hedges(DiskId k) const {
+    return hedge_probe_ ? hedge_probe_(k) : 0;
+  }
+
  private:
   const fault::FailureView* failure_view_ = nullptr;
   DestageProbe destage_probe_;
+  HedgeProbe hedge_probe_;
 };
 
 /// Baseline "always-on" configuration (the paper's normalisation target):

@@ -1,0 +1,36 @@
+#include "reliability/reliability.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace eas::reliability {
+
+void ReliabilityConfig::validate() const {
+  if (!enabled) return;
+  EAS_CHECK_MSG(std::isfinite(deadline_seconds) && deadline_seconds >= 0.0,
+                "deadline_seconds=" << deadline_seconds);
+  EAS_CHECK_MSG(max_attempts >= 1, "max_attempts must be at least 1");
+  EAS_CHECK_MSG(std::isfinite(backoff_base_seconds) &&
+                    backoff_base_seconds >= 0.0,
+                "backoff_base_seconds=" << backoff_base_seconds);
+  EAS_CHECK_MSG(std::isfinite(backoff_cap_seconds) &&
+                    backoff_cap_seconds >= backoff_base_seconds,
+                "backoff_cap_seconds=" << backoff_cap_seconds
+                                       << " below base="
+                                       << backoff_base_seconds);
+  EAS_CHECK_MSG(std::isfinite(jitter_fraction) && jitter_fraction >= 0.0 &&
+                    jitter_fraction <= 1.0,
+                "jitter_fraction=" << jitter_fraction);
+  EAS_CHECK_MSG(std::isfinite(hedge_delay_seconds) &&
+                    hedge_delay_seconds >= 0.0,
+                "hedge_delay_seconds=" << hedge_delay_seconds);
+  if (max_queue_depth > 0) {
+    EAS_CHECK_MSG(std::isfinite(backpressure_watermark) &&
+                      backpressure_watermark > 0.0 &&
+                      backpressure_watermark <= 1.0,
+                  "backpressure_watermark=" << backpressure_watermark);
+  }
+}
+
+}  // namespace eas::reliability

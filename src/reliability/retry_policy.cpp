@@ -1,0 +1,29 @@
+#include "reliability/retry_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace eas::reliability {
+
+namespace {
+
+/// Golden-ratio stream derivation, same idiom as the fault injector: child
+/// stream k of seed s. k+1 keeps stream 0 distinct from the parent seed.
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t k) {
+  return seed ^ (0x9e3779b97f4a7c15ULL * (k + 1));
+}
+
+}  // namespace
+
+double RetryPolicy::backoff_delay(RequestId id, std::uint32_t attempt) const {
+  // attempt 2 is the first retry: one base-length step, doubling after.
+  const int doublings = attempt >= 2 ? static_cast<int>(attempt) - 2 : 0;
+  const double raw = std::min(cap_, std::ldexp(base_, doublings));
+  if (jitter_ <= 0.0) return raw;
+  util::Rng rng(stream_seed(seed_, id) ^ attempt);
+  return raw * (1.0 - jitter_ * rng.next_double());
+}
+
+}  // namespace eas::reliability

@@ -1,0 +1,39 @@
+// Deterministic capped-exponential retry policy.
+//
+// Backoff for attempt k of request r is a *pure function* of
+// (seed, r, k): the jitter draw seeds a throwaway util::Rng from a
+// per-(request, attempt) stream using the same golden-ratio stream-split
+// idiom as the fault injector, so no mutable RNG state is shared between
+// requests and the delay sequence is identical however sweep cells are
+// scheduled across threads. That purity is what makes retry timing (and
+// everything downstream of it — hedge cancellation order, shed order)
+// bit-identical across EAS_THREADS and repeated runs.
+#pragma once
+
+#include <cstdint>
+
+#include "util/ids.hpp"
+
+namespace eas::reliability {
+
+class RetryPolicy {
+ public:
+  /// `base`/`cap` in seconds; `jitter` in [0,1] scales the delay down by up
+  /// to that fraction. Inputs are validated by ReliabilityConfig::validate.
+  RetryPolicy(double base_seconds, double cap_seconds, double jitter,
+              std::uint64_t seed)
+      : base_(base_seconds), cap_(cap_seconds), jitter_(jitter), seed_(seed) {}
+
+  /// Delay before dispatching attempt `attempt` (2 = first retry) of
+  /// request `id`: min(cap, base * 2^(attempt-2)) * (1 - jitter * u),
+  /// u in [0,1) drawn from the (seed, id, attempt) stream. Pure; const.
+  double backoff_delay(RequestId id, std::uint32_t attempt) const;
+
+ private:
+  double base_;
+  double cap_;
+  double jitter_;
+  std::uint64_t seed_;
+};
+
+}  // namespace eas::reliability

@@ -243,6 +243,14 @@ void emit_cells(std::ostream& os, const std::vector<CellResult>& results,
       break;
     }
   }
+  // As do the reliability columns.
+  bool any_reliability = false;
+  for (const auto& r : results) {
+    if (r.status == CellStatus::kOk && r.result.reliability_enabled) {
+      any_reliability = true;
+      break;
+    }
+  }
 
   if (format == EmitFormat::kJson) {
     util::JsonWriter w(os);
@@ -286,6 +294,10 @@ void emit_cells(std::ostream& os, const std::vector<CellResult>& results,
     columns.insert(columns.end(),
                    {"hit_ratio", "destaged", "mem_energy_j"});
   }
+  if (any_reliability) {
+    columns.insert(columns.end(),
+                   {"deadline_miss", "retries", "hedge_wins", "shed"});
+  }
   ResultTable t("sweep cells", std::move(columns));
   for (const auto& r : results) {
     const bool ok = r.status == CellStatus::kOk;
@@ -323,6 +335,17 @@ void emit_cells(std::ostream& os, const std::vector<CellResult>& results,
         // Cache-off cell in a mixed sweep: blank, not a measured zero
         // (same convention as the fault columns above).
         t.cell("").cell("").cell("");
+      }
+    }
+    if (any_reliability) {
+      const reliability::ReliabilityStats& rs = r.result.reliability_stats;
+      if (ok && r.result.reliability_enabled) {
+        t.cell(rs.deadline_misses)
+            .cell(rs.retries)
+            .cell(rs.hedge_wins)
+            .cell(rs.shed);
+      } else {
+        t.cell("").cell("").cell("").cell("");
       }
     }
   }

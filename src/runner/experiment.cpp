@@ -1,13 +1,50 @@
 #include "runner/experiment.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "trace/synthetic.hpp"
 #include "util/check.hpp"
 
 namespace eas::runner {
+
+namespace {
+
+// Eager argument hardening for the builder setters: reject NaN/Inf and
+// sign/zero violations with std::invalid_argument *naming the field*, so a
+// grid declaration fails on the offending line with an actionable message
+// (build()'s InvariantError checks still run afterwards for cross-field
+// rules).
+[[noreturn]] void bad_argument(const char* field, const char* rule,
+                               double got) {
+  std::ostringstream os;
+  os << field << " " << rule << ", got " << got;
+  throw std::invalid_argument(os.str());
+}
+
+void require_finite(double v, const char* field) {
+  if (!std::isfinite(v)) bad_argument(field, "must be finite", v);
+}
+
+void require_non_negative(double v, const char* field) {
+  require_finite(v, field);
+  if (v < 0.0) bad_argument(field, "must be >= 0", v);
+}
+
+void require_positive(double v, const char* field) {
+  require_finite(v, field);
+  if (v <= 0.0) bad_argument(field, "must be > 0", v);
+}
+
+void require_unit_interval(double v, const char* field) {
+  require_finite(v, field);
+  if (v < 0.0 || v > 1.0) bad_argument(field, "must be within [0, 1]", v);
+}
+
+}  // namespace
 
 const char* to_string(Workload w) {
   return w == Workload::kCello ? "cello" : "financial1";
@@ -38,6 +75,7 @@ void ExperimentParams::validate() const {
   fault.validate(num_disks);
   obs.validate();
   cache.validate();
+  reliability.validate();
   sink.validate();
   EAS_REQUIRE_MSG(!sink.with_trace || obs.trace.enabled,
                   "sink requests trace output but tracing is not enabled "
@@ -50,6 +88,57 @@ void ExperimentParams::validate() const {
 ExperimentParams ExperimentBuilder::build() const {
   p_.validate();
   return p_;
+}
+
+ExperimentBuilder& ExperimentBuilder::cache(cache::CacheConfig c) {
+  require_positive(c.dram_latency_seconds, "cache.dram_latency_seconds");
+  require_non_negative(c.memory_watts_per_gib, "cache.memory_watts_per_gib");
+  require_positive(c.destage_deadline_seconds,
+                   "cache.destage_deadline_seconds");
+  require_unit_interval(c.high_watermark, "cache.high_watermark");
+  require_unit_interval(c.low_watermark, "cache.low_watermark");
+  if (c.block_bytes == 0) {
+    throw std::invalid_argument("cache.block_bytes must be > 0, got 0");
+  }
+  if (c.max_destage_batch == 0) {
+    throw std::invalid_argument("cache.max_destage_batch must be > 0, got 0");
+  }
+  c.enabled = true;
+  p_.cache = c;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::reliability(
+    reliability::ReliabilityConfig c) {
+  require_non_negative(c.deadline_seconds, "reliability.deadline_seconds");
+  require_non_negative(c.backoff_base_seconds,
+                       "reliability.backoff_base_seconds");
+  require_non_negative(c.backoff_cap_seconds,
+                       "reliability.backoff_cap_seconds");
+  require_unit_interval(c.jitter_fraction, "reliability.jitter_fraction");
+  require_non_negative(c.hedge_delay_seconds,
+                       "reliability.hedge_delay_seconds");
+  require_unit_interval(c.backpressure_watermark,
+                        "reliability.backpressure_watermark");
+  if (c.max_attempts == 0) {
+    throw std::invalid_argument("reliability.max_attempts must be >= 1, got 0");
+  }
+  c.enabled = true;
+  p_.reliability = c;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::fail_disk_at(DiskId disk, double time,
+                                                   double repair) {
+  require_non_negative(time, "fail_disk_at.time");
+  require_non_negative(repair, "fail_disk_at.repair");
+  fault::ScriptedFault f;
+  f.kind = fault::ScriptedFault::Kind::kFailStop;
+  f.disk = disk;
+  f.time = time;
+  f.duration = repair;
+  p_.fault.script.push_back(f);
+  return *this;
 }
 
 trace::Trace make_workload(Workload w, std::uint64_t seed,
@@ -96,6 +185,7 @@ storage::SystemConfig system_config_for(const ExperimentParams& p) {
   cfg.fault = p.fault;
   cfg.obs = p.obs;
   cfg.cache = p.cache;
+  cfg.reliability = p.reliability;
   return cfg;
 }
 
@@ -122,6 +212,13 @@ std::string describe(const ExperimentParams& p) {
        << " blocks=" << p.cache.capacity_blocks
        << " dirty=" << p.cache.dirty_capacity_blocks
        << " mem_w_gib=" << p.cache.memory_watts_per_gib << "]";
+  }
+  // And reliability-free experiments: the tier appears only when enabled.
+  if (p.reliability.enabled) {
+    os << " reliability[deadline=" << p.reliability.deadline_seconds
+       << "s attempts=" << p.reliability.max_attempts
+       << " hedge=" << p.reliability.hedge_delay_seconds
+       << "s depth=" << p.reliability.max_queue_depth << "]";
   }
   return os.str();
 }

@@ -20,6 +20,7 @@
 #include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "placement/placement.hpp"
+#include "reliability/reliability.hpp"
 #include "runner/sink_config.hpp"
 #include "storage/storage_system.hpp"
 #include "trace/trace.hpp"
@@ -78,6 +79,12 @@ struct ExperimentParams {
   /// it.
   cache::CacheConfig cache{};
 
+  /// Request reliability tier (default: disabled, bit-identical to a build
+  /// without the subsystem). Travels into SystemConfig like `fault`;
+  /// emitters add deadline-miss/retry/hedge/shed columns when any cell
+  /// enables it.
+  reliability::ReliabilityConfig reliability{};
+
   /// Output-sink selection for harnesses that render through make_sink().
   /// validate() cross-checks it against `obs`: a sink cannot request trace
   /// or metrics output the run is not configured to produce.
@@ -124,13 +131,15 @@ class ExperimentBuilder {
   ExperimentBuilder& initial_state(disk::DiskState s) { p_.initial_state = s; return *this; }
   ExperimentBuilder& fault(fault::FaultProfile f) { p_.fault = std::move(f); return *this; }
   /// Enables the cache & destage tier with the given configuration (asking
-  /// for one implies enabling it). build() validates watermarks, latency
-  /// and capacities.
-  ExperimentBuilder& cache(cache::CacheConfig c) {
-    c.enabled = true;
-    p_.cache = c;
-    return *this;
-  }
+  /// for one implies enabling it). Throws std::invalid_argument naming the
+  /// offending field on NaN/Inf/negative inputs — eagerly, at the call
+  /// site, so a grid declaration fails on the bad line rather than at
+  /// build(); build() still runs the full cross-field validation.
+  ExperimentBuilder& cache(cache::CacheConfig c);
+  /// Enables the request reliability tier (deadlines, deterministic retry/
+  /// backoff, hedged reads, admission control); asking for one implies
+  /// enabling it. Same eager std::invalid_argument policy as cache().
+  ExperimentBuilder& reliability(reliability::ReliabilityConfig c);
   /// Enables structured tracing with the given recorder configuration
   /// (asking for a trace implies enabling it; pass categories/capacity as
   /// needed). build() validates the config.
@@ -148,15 +157,9 @@ class ExperimentBuilder {
   ExperimentBuilder& sink(EmitFormat f) { p_.sink.format = f; return *this; }
   /// Convenience for the canonical degraded-mode experiment: fail-stop disk
   /// `disk` at `time`, replacement online after `repair` seconds (0 = never).
-  ExperimentBuilder& fail_disk_at(DiskId disk, double time, double repair = 0.0) {
-    fault::ScriptedFault f;
-    f.kind = fault::ScriptedFault::Kind::kFailStop;
-    f.disk = disk;
-    f.time = time;
-    f.duration = repair;
-    p_.fault.script.push_back(f);
-    return *this;
-  }
+  /// Throws std::invalid_argument naming the offending argument on NaN/Inf/
+  /// negative time or repair.
+  ExperimentBuilder& fail_disk_at(DiskId disk, double time, double repair = 0.0);
 
   /// Validates and returns the parameter set (throws InvariantError).
   ExperimentParams build() const;

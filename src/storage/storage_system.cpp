@@ -8,6 +8,8 @@
 #include "cache/write_back.hpp"
 #include "core/basic_schedulers.hpp"
 #include "power/oracle.hpp"
+#include "reliability/request_state.hpp"
+#include "reliability/retry_policy.hpp"
 #include "util/check.hpp"
 #include "util/json.hpp"
 
@@ -133,6 +135,18 @@ std::string RunResult::to_json(bool include_disks) const {
     w.field("memory_energy_joules", cache_stats.memory_energy_joules);
     w.end_object();
   }
+  if (reliability_enabled) {
+    w.key("reliability");
+    w.begin_object();
+    w.field("deadline_misses", reliability_stats.deadline_misses);
+    w.field("retries", reliability_stats.retries);
+    w.field("hedges_issued", reliability_stats.hedges_issued);
+    w.field("hedge_wins", reliability_stats.hedge_wins);
+    w.field("shed", reliability_stats.shed);
+    w.field("writes_degraded", reliability_stats.writes_degraded);
+    w.field("abandoned", reliability_stats.abandoned);
+    w.end_object();
+  }
   if (write_offload_enabled) {
     w.key("write_offload");
     w.begin_object();
@@ -185,6 +199,7 @@ class System final : public core::SystemView {
     config_.perf.validate();
     config_.obs.validate();
     config_.cache.validate();
+    config_.reliability.validate();
     if (config_.obs.trace.enabled) {
       recorder_ = std::make_shared<obs::TraceRecorder>(config_.obs.trace);
       sim_.set_recorder(recorder_.get());
@@ -221,6 +236,16 @@ class System final : public core::SystemView {
         metrics_->gauge("cache_hit_ratio");
         metrics_->gauge("cache_memory_energy_joules");
       }
+      // Reliability metrics follow the same enabled-only rule, after the
+      // cache block, so existing registries stay schema-stable.
+      if (config_.reliability.enabled) {
+        m_deadline_misses_ = metrics_->counter("deadline_misses");
+        m_retries_ = metrics_->counter("retries");
+        m_hedges_issued_ = metrics_->counter("hedges_issued");
+        m_hedge_wins_ = metrics_->counter("hedge_wins");
+        m_shed_ = metrics_->counter("shed_requests");
+        m_abandoned_ = metrics_->counter("abandoned_requests");
+      }
     }
     if (config_.cache.enabled) {
       if (config_.cache.capacity_blocks > 0) {
@@ -242,6 +267,20 @@ class System final : public core::SystemView {
         policy_.set_destage_probe(
             [this](DiskId k) { return wb_->pending(k); });
       }
+    }
+    if (config_.reliability.enabled) {
+      retry_ = std::make_unique<reliability::RetryPolicy>(
+          config_.reliability.backoff_base_seconds,
+          config_.reliability.backoff_cap_seconds,
+          config_.reliability.jitter_fraction, config_.reliability.seed);
+      if (config_.reliability.max_queue_depth > 0) {
+        watermark_depth_ = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   config_.reliability.backpressure_watermark *
+                   static_cast<double>(config_.reliability.max_queue_depth)));
+      }
+      hedge_pins_.assign(placement.num_disks(), 0);
+      policy_.set_hedge_probe([this](DiskId k) { return hedge_pins_[k]; });
     }
     disks_.reserve(placement.num_disks());
     disk_ptrs_.reserve(placement.num_disks());
@@ -305,6 +344,13 @@ class System final : public core::SystemView {
   std::uint64_t pending_destage(DiskId k) const override {
     return wb_ != nullptr ? wb_->pending(k) : 0;
   }
+  bool backpressured(DiskId k) const override {
+    // Computed lazily from the live queue depth; identically false without
+    // the reliability tier (watermark_depth_ stays 0), so scheduler picks
+    // are bit-identical to pre-reliability builds.
+    return watermark_depth_ > 0 &&
+           disks_[k]->queued_requests() >= watermark_depth_;
+  }
 
   sim::Simulator& simulator() { return sim_; }
   const std::vector<disk::Disk*>& disk_ptrs() const { return disk_ptrs_; }
@@ -354,7 +400,7 @@ class System final : public core::SystemView {
   /// established unavailability. Fault-free runs fall straight through.
   void route(const disk::Request& r, DiskId k) {
     if (view_ == nullptr) {
-      dispatch(r, k);
+      dispatch_foreground(r, k);
       return;
     }
     if (k != kInvalidDisk && !view_->replica_readable(r.data, k)) {
@@ -380,7 +426,24 @@ class System final : public core::SystemView {
                   "foreground request for data " << r.data
                                                  << " routed to unreadable disk "
                                                  << k);
-    dispatch(r, k);
+    dispatch_foreground(r, k);
+  }
+
+  /// Foreground tail of route(): with the reliability tier disabled this is
+  /// exactly dispatch(); enabled, the request gets an in-flight entry and
+  /// goes through attempt() (admission control, deadline, hedge arming).
+  void dispatch_foreground(const disk::Request& r, DiskId k) {
+    if (!config_.reliability.enabled) {
+      dispatch(r, k);
+      return;
+    }
+    // Foreground ids must leave the top three bits clear — the internal /
+    // destage / hedge tags live there.
+    EAS_REQUIRE_MSG((r.id & (kInternalBit | kDestageBit | kHedgeBit)) == 0,
+                    "foreground request id " << r.id << " collides with tags");
+    auto [it, inserted] = inflight_.try_emplace(r.id, InFlight{r, {}});
+    EAS_ASSERT_MSG(inserted, "duplicate foreground request id");
+    attempt(r.id, it->second, k);
   }
 
   /// Routes a request to disk k, notifying the power policy first so stale
@@ -448,6 +511,10 @@ class System final : public core::SystemView {
             cache_stats_.memory_energy_joules;
       }
     }
+    if (config_.reliability.enabled) {
+      r.reliability_enabled = true;
+      r.reliability_stats = rel_stats_;
+    }
     if (metrics_ != nullptr) {
       // End-of-run aggregates: per-disk state-time summaries and the energy
       // gauges. Disks are folded in id order, so the Welford state is a pure
@@ -498,6 +565,12 @@ class System final : public core::SystemView {
   /// id space; both carry the target disk in bits [32,62). The target field
   /// is exactly 30 bits wide so it can never bleed into kDestageBit.
   static constexpr RequestId kDestageBit = RequestId{1} << 62;
+  /// Tags the hedge copy of a foreground read. Hedge copies are *not*
+  /// internal (their completion is a real foreground completion), so this
+  /// bit only ever appears with kInternalBit clear and cannot collide with
+  /// the internal target field, which occupies bits [32,62) of internal ids
+  /// only. Foreground ids are trace indices, far below bit 61.
+  static constexpr RequestId kHedgeBit = RequestId{1} << 61;
   static constexpr RequestId kTargetMask = (RequestId{1} << 30) - 1;
   static RequestId internal_id(DiskId target, std::uint32_t epoch) {
     EAS_REQUIRE((target & ~kTargetMask) == 0);
@@ -700,6 +773,275 @@ class System final : public core::SystemView {
     if (read_cache_ != nullptr) insert_clean(b);
   }
 
+  // ---- reliability tier ----
+
+  /// Per-request in-flight entry: the original request (arrival time and
+  /// all) plus its reliability state. Lives from dispatch_foreground until
+  /// the first completion, shed, or abandonment.
+  struct InFlight {
+    disk::Request request;
+    reliability::RequestState st;
+  };
+  using InFlightMap = std::unordered_map<RequestId, InFlight>;
+
+  /// First live replica of `data`, preferring one != `avoid`; falls back to
+  /// `avoid` itself when it is the only live location. kInvalidDisk when no
+  /// live replica remains (only possible with a failure view).
+  DiskId pick_replica(DataId data, DiskId avoid) const {
+    DiskId fallback = kInvalidDisk;
+    for (const DiskId loc : placement_.locations(data)) {
+      if (view_ != nullptr && !view_->replica_readable(data, loc)) continue;
+      if (loc == avoid) {
+        fallback = loc;
+        continue;
+      }
+      return loc;
+    }
+    return fallback;
+  }
+
+  /// Releases one planned-hedge pin on `k`. If that was the last pin and
+  /// the disk sits idle with nothing queued, the power policy is re-kicked
+  /// — it skipped arming its spin-down timer while the pin was up, and no
+  /// other idle notification would ever come.
+  void release_hedge_pin(DiskId k) {
+    EAS_ASSERT(hedge_pins_[k] > 0);
+    --hedge_pins_[k];
+    if (hedge_pins_[k] == 0 && disks_[k]->state() == disk::DiskState::Idle &&
+        disks_[k]->queued_requests() == 0) {
+      policy_.on_disk_idle(sim_, *disks_[k]);
+    }
+  }
+
+  /// Cancels timers, releases any planned-hedge pin, pulls a still-queued
+  /// hedge copy back from its disk (no-op when it already completed or its
+  /// disk drained), and erases the entry. Every path that retires a request
+  /// — completion, shed, abandonment — funnels through here, so no closed
+  /// request can leave a stray copy in a queue.
+  void close_entry(InFlightMap::iterator it) {
+    InFlight& f = it->second;
+    f.st.cancel_timers(sim_);
+    if (f.st.hedge_planned != kInvalidDisk) {
+      release_hedge_pin(f.st.hedge_planned);
+      f.st.hedge_planned = kInvalidDisk;
+    }
+    if (f.st.hedge_disk != kInvalidDisk) {
+      disks_[f.st.hedge_disk]->remove_pending(it->first | kHedgeBit);
+      f.st.hedge_disk = kInvalidDisk;
+    }
+    inflight_.erase(it);
+  }
+
+  /// Admission-control eviction of one queued entry on disk `k` to make
+  /// room. A hedge-copy victim just loses its copy (the primary races on);
+  /// a primary victim is shed outright — both its copies leave the queues
+  /// and the request is dropped, counted, and traced.
+  void shed_victim(RequestId victim, DiskId k) {
+    const bool removed = disks_[k]->remove_pending(victim);
+    EAS_ASSERT_MSG(removed, "shed victim vanished from the queue");
+    const RequestId base = victim & ~kHedgeBit;
+    auto vit = inflight_.find(base);
+    if (vit == inflight_.end()) return;
+    InFlight& vf = vit->second;
+    if ((victim & kHedgeBit) != 0) {
+      vf.st.hedge_disk = kInvalidDisk;
+      return;
+    }
+    if (vf.st.hedge_disk != kInvalidDisk) {
+      disks_[vf.st.hedge_disk]->remove_pending(base | kHedgeBit);
+      vf.st.hedge_disk = kInvalidDisk;
+    }
+    ++rel_stats_.shed;
+    if (m_shed_ != nullptr) ++*m_shed_;
+    EAS_OBS(sim_.recorder(),
+            reliability_event(sim_.now(), obs::Ev::kShed, base, k));
+    close_entry(vit);
+  }
+
+  /// One dispatch attempt of the entry for `id` onto disk `k`: admission
+  /// control first (bounded queue: writes degrade to write-through and are
+  /// always admitted; reads shed the oldest queued read — or themselves
+  /// when the backlog is all writes), then attempt accounting, deadline and
+  /// hedge arming, and the actual dispatch. The attempt counter is the
+  /// *shared* budget: deadline retries and fault failovers both spend from
+  /// it, so a fault during a retry can never double-dispatch past the cap.
+  void attempt(RequestId id, InFlight& f, DiskId k) {
+    EAS_ASSERT(k != kInvalidDisk);
+    const std::uint32_t cap = config_.reliability.max_queue_depth;
+    if (cap > 0 && disks_[k]->queued_requests() >= cap) {
+      if (!f.request.is_read) {
+        // Write-through degradation: bounded queues never drop writes, the
+        // overflow is admitted and counted so the operator sees it.
+        ++rel_stats_.writes_degraded;
+      } else {
+        const RequestId victim = disks_[k]->oldest_queued_read();
+        if (victim == kInvalidRequest) {
+          // The backlog is writes/in-service work: shed the incoming read.
+          ++rel_stats_.shed;
+          if (m_shed_ != nullptr) ++*m_shed_;
+          EAS_OBS(sim_.recorder(),
+                  reliability_event(sim_.now(), obs::Ev::kShed, id, k));
+          close_entry(inflight_.find(id));
+          return;
+        }
+        shed_victim(victim, k);
+      }
+    }
+    ++f.st.attempts;
+    f.st.primary = k;
+    f.st.retry_scheduled = false;
+    if (config_.reliability.deadline_seconds > 0.0) {
+      sim_.cancel(f.st.deadline);
+      f.st.deadline = sim_.schedule_in(config_.reliability.deadline_seconds,
+                                       [this, id] { on_deadline(id); });
+    }
+    arm_hedge(id, f, k);
+    dispatch(f.request, k);
+  }
+
+  /// Plans a hedge for a read attempt on `k`: pins the first alternate live
+  /// replica (so the power policy keeps it warm through the delay window)
+  /// and arms the hedge timer. Re-attempts release the previous plan first.
+  void arm_hedge(RequestId id, InFlight& f, DiskId k) {
+    if (config_.reliability.hedge_delay_seconds <= 0.0 || !f.request.is_read) {
+      return;
+    }
+    sim_.cancel(f.st.hedge_timer);
+    f.st.hedge_timer = {};
+    if (f.st.hedge_planned != kInvalidDisk) {
+      release_hedge_pin(f.st.hedge_planned);
+      f.st.hedge_planned = kInvalidDisk;
+    }
+    if (f.st.hedge_disk != kInvalidDisk) return;  // a copy is already racing
+    DiskId alt = kInvalidDisk;
+    for (const DiskId loc : placement_.locations(f.request.data)) {
+      if (loc == k) continue;
+      if (view_ != nullptr && !view_->replica_readable(f.request.data, loc)) {
+        continue;
+      }
+      alt = loc;
+      break;
+    }
+    if (alt == kInvalidDisk) return;  // un-replicated (or all alternates dead)
+    ++hedge_pins_[alt];
+    f.st.hedge_planned = alt;
+    f.st.hedge_timer =
+        sim_.schedule_in(config_.reliability.hedge_delay_seconds,
+                         [this, id] { on_hedge_fire(id); });
+  }
+
+  /// Hedge timer fired: the primary attempt is still in flight after the
+  /// hedge delay, so dispatch a second copy to the planned alternate (or a
+  /// repick when it died during the window). First completion wins; the
+  /// loser is cancelled in on_completion / shed_victim.
+  void on_hedge_fire(RequestId id) {
+    auto it = inflight_.find(id);
+    if (it == inflight_.end()) return;  // stale (entry closed under the timer)
+    InFlight& f = it->second;
+    f.st.hedge_timer = {};
+    DiskId target = f.st.hedge_planned;
+    EAS_ASSERT(target != kInvalidDisk);
+    f.st.hedge_planned = kInvalidDisk;
+    if (f.st.retry_scheduled) {
+      // Between attempts (backoff wait): nothing is in flight to hedge. The
+      // next attempt re-arms its own hedge.
+      release_hedge_pin(target);
+      return;
+    }
+    if (view_ != nullptr && !view_->replica_readable(f.request.data, target)) {
+      --hedge_pins_[target];  // died during the window: no policy kick needed
+      target = kInvalidDisk;
+      for (const DiskId loc : placement_.locations(f.request.data)) {
+        if (loc == f.st.primary) continue;
+        if (!view_->replica_readable(f.request.data, loc)) continue;
+        target = loc;
+        break;
+      }
+      if (target == kInvalidDisk) return;  // no live alternate left
+    } else {
+      --hedge_pins_[target];  // dispatching to it this instant
+    }
+    const std::uint32_t cap = config_.reliability.max_queue_depth;
+    if (cap > 0 && disks_[target]->queued_requests() >= cap) {
+      return;  // full queue: skip the hedge rather than shed for a copy
+    }
+    ++rel_stats_.hedges_issued;
+    if (m_hedges_issued_ != nullptr) ++*m_hedges_issued_;
+    EAS_OBS(sim_.recorder(),
+            reliability_event(sim_.now(), obs::Ev::kHedgeIssue, id, target));
+    f.st.hedge_disk = target;
+    disk::Request copy = f.request;
+    copy.id = id | kHedgeBit;
+    dispatch(copy, target);
+  }
+
+  /// Per-attempt deadline fired: pull the attempt's queued copies back (an
+  /// in-service transfer completes regardless and simply wins the race if
+  /// it lands before the retry), then retry with deterministic backoff or
+  /// abandon once the budget is spent.
+  void on_deadline(RequestId id) {
+    auto it = inflight_.find(id);
+    if (it == inflight_.end()) return;  // stale (entry closed under the timer)
+    InFlight& f = it->second;
+    f.st.deadline = {};
+    ++rel_stats_.deadline_misses;
+    if (m_deadline_misses_ != nullptr) ++*m_deadline_misses_;
+    EAS_OBS(sim_.recorder(),
+            reliability_event(sim_.now(), obs::Ev::kDeadlineMiss, id,
+                              f.st.primary, f.st.attempts));
+    disks_[f.st.primary]->remove_pending(id);
+    sim_.cancel(f.st.hedge_timer);
+    f.st.hedge_timer = {};
+    if (f.st.hedge_planned != kInvalidDisk) {
+      release_hedge_pin(f.st.hedge_planned);
+      f.st.hedge_planned = kInvalidDisk;
+    }
+    if (f.st.hedge_disk != kInvalidDisk) {
+      disks_[f.st.hedge_disk]->remove_pending(id | kHedgeBit);
+      f.st.hedge_disk = kInvalidDisk;
+    }
+    if (f.st.attempts >= config_.reliability.max_attempts) {
+      ++rel_stats_.abandoned;
+      if (m_abandoned_ != nullptr) ++*m_abandoned_;
+      EAS_OBS(sim_.recorder(),
+              reliability_event(sim_.now(), obs::Ev::kAbandon, id,
+                                f.st.primary, f.st.attempts));
+      close_entry(it);
+      return;
+    }
+    f.st.retry_scheduled = true;
+    // Deterministic jittered backoff: a pure function of (seed, id,
+    // attempt), so the retry timeline is bit-identical across EAS_THREADS
+    // and repeated runs.
+    sim_.schedule_in(retry_->backoff_delay(id, f.st.attempts + 1),
+                     [this, id] { on_retry(id); });
+  }
+
+  /// Backoff elapsed: re-dispatch to the first live replica, preferring one
+  /// that is not the attempt that just timed out.
+  void on_retry(RequestId id) {
+    auto it = inflight_.find(id);
+    if (it == inflight_.end()) return;  // a late completion won the race
+    InFlight& f = it->second;
+    const DiskId pick = pick_replica(f.request.data, f.st.primary);
+    if (pick == kInvalidDisk) {
+      if (view_ != nullptr) note_unavailable();
+      ++rel_stats_.abandoned;
+      if (m_abandoned_ != nullptr) ++*m_abandoned_;
+      EAS_OBS(sim_.recorder(),
+              reliability_event(sim_.now(), obs::Ev::kAbandon, id,
+                                f.st.primary, f.st.attempts));
+      close_entry(it);
+      return;
+    }
+    ++rel_stats_.retries;
+    if (m_retries_ != nullptr) ++*m_retries_;
+    EAS_OBS(sim_.recorder(),
+            reliability_event(sim_.now(), obs::Ev::kRetry, id, pick,
+                              f.st.attempts + 1));
+    attempt(id, f, pick);
+  }
+
   fault::FaultStats& stats() { return injector_->stats(); }
 
   void note_failover() {
@@ -716,6 +1058,26 @@ class System final : public core::SystemView {
     if (c.request.internal) {
       on_internal_completion(c);
       return;
+    }
+    if (config_.reliability.enabled) {
+      const RequestId base = c.request.id & ~kHedgeBit;
+      auto it = inflight_.find(base);
+      if (it == inflight_.end()) {
+        // Entry already closed: a shed/abandoned request's in-service copy
+        // landing late, or the race's loser completing after the winner.
+        // Not counted — the request's fate was already accounted.
+        return;
+      }
+      InFlight& f = it->second;
+      if ((c.request.id & kHedgeBit) != 0) {
+        ++rel_stats_.hedge_wins;
+        if (m_hedge_wins_ != nullptr) ++*m_hedge_wins_;
+        EAS_OBS(sim_.recorder(), reliability_event(sim_.now(),
+                                                   obs::Ev::kHedgeWin, base,
+                                                   c.disk));
+        disks_[f.st.primary]->remove_pending(base);
+      }
+      close_entry(it);  // cancels timers, pulls back a racing hedge copy
     }
     ++completed_;
     if (c.waited_for_spinup) ++waited_spinup_;
@@ -759,6 +1121,43 @@ class System final : public core::SystemView {
           rit->second.writing = false;
           advance_rebuild(target);
         }
+        continue;
+      }
+      if (config_.reliability.enabled) {
+        // Failover shares the reliability attempt budget: re-dispatch goes
+        // through attempt() so a request bouncing between a dying disk and
+        // its deadline can never exceed max_attempts or double-dispatch.
+        const RequestId base = r.id & ~kHedgeBit;
+        auto fit = inflight_.find(base);
+        if (fit == inflight_.end()) continue;  // already closed elsewhere
+        InFlight& f = fit->second;
+        if ((r.id & kHedgeBit) != 0) {
+          // The hedge copy died with the disk; the primary races on alone.
+          f.st.hedge_disk = kInvalidDisk;
+          continue;
+        }
+        if (f.st.attempts >= config_.reliability.max_attempts) {
+          ++rel_stats_.abandoned;
+          if (m_abandoned_ != nullptr) ++*m_abandoned_;
+          EAS_OBS(sim_.recorder(),
+                  reliability_event(sim_.now(), obs::Ev::kAbandon, base, k,
+                                    f.st.attempts));
+          close_entry(fit);
+          continue;
+        }
+        const DiskId alt = view_->first_live(placement_, r.data);
+        if (alt == kInvalidDisk) {
+          note_unavailable();
+          ++rel_stats_.abandoned;
+          if (m_abandoned_ != nullptr) ++*m_abandoned_;
+          EAS_OBS(sim_.recorder(),
+                  reliability_event(sim_.now(), obs::Ev::kAbandon, base, k,
+                                    f.st.attempts));
+          close_entry(fit);
+          continue;
+        }
+        note_failover();
+        attempt(base, f, alt);
         continue;
       }
       const DiskId alt = view_->first_live(placement_, r.data);
@@ -981,6 +1380,26 @@ class System final : public core::SystemView {
   std::uint64_t* m_destage_batches_ = nullptr;
   std::uint64_t* m_destaged_blocks_ = nullptr;
   stats::SummaryStats* m_dirty_occupancy_ = nullptr;
+
+  /// Reliability tier; retry_ null (and every hook a single branch) when the
+  /// config leaves the tier disabled. inflight_ is only ever accessed by
+  /// key (find/erase/try_emplace) — never iterated — so the unordered map's
+  /// traversal order cannot leak into results.
+  std::unordered_map<RequestId, InFlight> inflight_;
+  std::unique_ptr<reliability::RetryPolicy> retry_;
+  reliability::ReliabilityStats rel_stats_{};
+  /// Per-disk count of planned hedges whose timer is still running; the
+  /// power policy probes this to keep the alternate warm through the window.
+  std::vector<std::uint64_t> hedge_pins_;
+  /// Queue depth at which schedulers see the disk as backpressured;
+  /// 0 disables both the watermark and the bounded queue entirely.
+  std::size_t watermark_depth_ = 0;
+  std::uint64_t* m_deadline_misses_ = nullptr;
+  std::uint64_t* m_retries_ = nullptr;
+  std::uint64_t* m_hedges_issued_ = nullptr;
+  std::uint64_t* m_hedge_wins_ = nullptr;
+  std::uint64_t* m_shed_ = nullptr;
+  std::uint64_t* m_abandoned_ = nullptr;
 };
 
 disk::Request make_request(RequestId id, const trace::TraceRecord& rec) {
@@ -1122,6 +1541,11 @@ RunResult run_online_mixed(const SystemConfig& config,
   // both would double-absorb writes. Pick one per experiment.
   EAS_REQUIRE_MSG(!config.cache.enabled,
                   "write-offload runs do not support the cache tier");
+  // Mixed runs dispatch through dispatch_unchecked/dispatch directly, so
+  // the reliability state machine would only cover part of the traffic;
+  // refuse rather than half-protect.
+  EAS_REQUIRE_MSG(!config.reliability.enabled,
+                  "write-offload runs do not support the reliability tier");
   System system(config, placement, policy);
   auto& sim = system.simulator();
   for (std::size_t i = 0; i < trace.size(); ++i) {

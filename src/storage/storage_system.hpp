@@ -16,6 +16,7 @@
 #include "obs/obs.hpp"
 #include "placement/placement.hpp"
 #include "power/policy.hpp"
+#include "reliability/reliability.hpp"
 #include "sim/simulator.hpp"
 #include "stats/summary.hpp"
 #include "trace/trace.hpp"
@@ -41,6 +42,11 @@ struct SystemConfig {
   /// dormant — no cache objects exist and results are bit-identical to
   /// builds without the subsystem.
   cache::CacheConfig cache{};
+  /// Request reliability tier (deadlines, deterministic retry, hedged
+  /// reads, admission control). Default-constructed (disabled) keeps the
+  /// tier dormant — no per-request state exists and results are
+  /// bit-identical to builds without the subsystem.
+  reliability::ReliabilityConfig reliability{};
 };
 
 /// Everything a run produces; the figures are all derived from this.
@@ -62,6 +68,11 @@ struct RunResult {
   /// SystemConfig carried an enabled CacheConfig.
   bool cache_enabled = false;
   cache::CacheStats cache_stats{};
+  /// Same enabled-only emission rule for the reliability tier: the
+  /// "reliability" JSON object and deadline/retry/hedge/shed columns exist
+  /// only when the run's SystemConfig carried an enabled ReliabilityConfig.
+  bool reliability_enabled = false;
+  reliability::ReliabilityStats reliability_stats{};
   /// And for §2.1 write off-loading: run_online_mixed sets this so diverted/
   /// reclaimed counters land in the same JSON as cache destage counters.
   bool write_offload_enabled = false;

@@ -21,5 +21,6 @@ using RequestId = std::uint64_t;
 
 inline constexpr DiskId kInvalidDisk = ~DiskId{0};
 inline constexpr DataId kInvalidData = ~DataId{0};
+inline constexpr RequestId kInvalidRequest = ~RequestId{0};
 
 }  // namespace eas

@@ -1,0 +1,19 @@
+// Fixture: range-for over an unordered container inside the reliability
+// tier. Retry and hedge timing feed scheduler and power decisions, so
+// reliability is a decision module: per-request state may hash, iteration
+// must walk ordered structures (or go by key only).
+#include <unordered_map>
+
+namespace fx {
+
+unsigned long long next_retry() {
+  std::unordered_map<unsigned long long, int> pending;
+  pending[3] = 1;
+  unsigned long long chosen = 0;
+  for (const auto& kv : pending) {  // expect: determinism-unordered-iter
+    chosen = kv.first;
+  }
+  return chosen;
+}
+
+}  // namespace fx

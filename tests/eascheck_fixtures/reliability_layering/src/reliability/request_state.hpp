@@ -1,0 +1,11 @@
+#pragma once
+
+#include "sim/event.hpp"  // allowed: reliability -> sim
+#include "util/ids.hpp"   // allowed: reliability -> util
+
+namespace fx {
+struct RequestState {
+  RequestId id = 0;
+  EventHandle deadline;
+};
+}  // namespace fx

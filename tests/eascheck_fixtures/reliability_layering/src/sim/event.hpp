@@ -1,0 +1,9 @@
+#pragma once
+
+#include "util/ids.hpp"  // allowed: sim -> util
+
+namespace fx {
+struct EventHandle {
+  RequestId slot = 0;
+};
+}  // namespace fx

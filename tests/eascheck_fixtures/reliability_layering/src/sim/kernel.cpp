@@ -1,0 +1,16 @@
+// Fixture: the event kernel reaching into the reliability tier inverts the
+// layering (storage drives retries/hedges above the kernel, never the
+// reverse — the kernel only hands out generation-checked handles).
+#include "sim/event.hpp"  // allowed: sim -> sim (same module)
+
+#include "reliability/request_state.hpp"  // expect: layering-forbidden-include
+
+namespace fx {
+
+int touch() {
+  RequestState st;
+  st.id = 1;
+  return static_cast<int>(st.id);
+}
+
+}  // namespace fx

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fx {
+using RequestId = unsigned long long;
+}  // namespace fx

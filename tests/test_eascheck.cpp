@@ -58,10 +58,10 @@ TEST(Eascheck, DeterminismBadFindsEveryBannedConstruct) {
   const RunResult r = run_eascheck("--root " + fixture("determinism_bad") +
                                    " --rules determinism");
   EXPECT_EQ(r.exit_code, 1) << r.output;
-  EXPECT_EQ(summary(r.output, "findings"), 17) << r.output;
+  EXPECT_EQ(summary(r.output, "findings"), 18) << r.output;
   EXPECT_EQ(count_of(r.output, "[determinism-libc-rand]"), 2);
   EXPECT_EQ(count_of(r.output, "[determinism-time-seed]"), 2);
-  EXPECT_EQ(count_of(r.output, "[determinism-unordered-iter]"), 2);
+  EXPECT_EQ(count_of(r.output, "[determinism-unordered-iter]"), 3);
   EXPECT_EQ(count_of(r.output, "[determinism-random-device]"), 1);
   EXPECT_EQ(count_of(r.output, "[determinism-system-clock]"), 1);
   EXPECT_EQ(count_of(r.output, "[determinism-fault-stdlib-rng]"), 3);
@@ -139,6 +139,27 @@ TEST(Eascheck, CacheLayeringPinsForbiddenSimCacheEdge) {
   EXPECT_EQ(summary(r.output, "findings"), 1) << r.output;
   EXPECT_EQ(count_of(r.output, "[layering-forbidden-include]"), 1);
   EXPECT_NE(r.output.find("sim/kernel.cpp"), std::string::npos) << r.output;
+  EXPECT_EQ(count_of(r.output, "[layering-unused-rule]"), 0);
+}
+
+TEST(Eascheck, ReliabilityLayeringPinsForbiddenSimReliabilityEdge) {
+  // The storage layer drives all retry/hedge machinery; the event kernel
+  // must never include the reliability tier (it only hands out handles).
+  // Because reliability -> sim is a *legal* edge (timer handles), the
+  // reverse include is doubly wrong: both the forbidden edge and the cycle
+  // it realizes are pinned. All declared edges are exercised, so there is
+  // no unused-rule noise.
+  const std::string root = fixture("reliability_layering");
+  const RunResult r = run_eascheck("--root " + root + " --rules layering" +
+                                   " --manifest " + root + "/layers.toml");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(summary(r.output, "findings"), 2) << r.output;
+  EXPECT_EQ(count_of(r.output, "[layering-forbidden-include]"), 1);
+  EXPECT_EQ(count_of(r.output, "[layering-cycle]"), 1);
+  EXPECT_NE(r.output.find("sim/kernel.cpp"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("reliability -> sim -> reliability"),
+            std::string::npos)
+      << r.output;
   EXPECT_EQ(count_of(r.output, "[layering-unused-rule]"), 0);
 }
 

@@ -1,0 +1,597 @@
+// Reliability tier tests: deterministic retry policy, config/builder
+// validation (including the eager std::invalid_argument hardening of the
+// builder setters), deadlines + retries, hedged reads, admission control,
+// the transient-fault interaction (shared attempt budget, exactly-once
+// accounting), and bit-identical results across repeated runs and sweep
+// thread counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/basic_schedulers.hpp"
+#include "core/cost_scheduler.hpp"
+#include "core/predictive_scheduler.hpp"
+#include "paper_example.hpp"
+#include "power/fixed_threshold.hpp"
+#include "power/policy.hpp"
+#include "reliability/reliability.hpp"
+#include "reliability/retry_policy.hpp"
+#include "runner/emit.hpp"
+#include "runner/experiment.hpp"
+#include "runner/sweep.hpp"
+#include "storage/storage_system.hpp"
+#include "util/check.hpp"
+
+namespace eas {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ------------------------------------------------------------- RetryPolicy
+
+TEST(RetryPolicy, BackoffIsPureCappedAndJitterBounded) {
+  const reliability::RetryPolicy p(0.010, 0.080, 0.5, 99);
+  // Pure function of (seed, id, attempt): same inputs, same delay.
+  EXPECT_EQ(p.backoff_delay(7, 2), p.backoff_delay(7, 2));
+  // Different requests and different attempts draw different jitter.
+  EXPECT_NE(p.backoff_delay(7, 2), p.backoff_delay(8, 2));
+  EXPECT_NE(p.backoff_delay(7, 2), p.backoff_delay(7, 3));
+  for (std::uint32_t attempt = 2; attempt <= 12; ++attempt) {
+    const double raw = std::min(0.080, 0.010 * std::ldexp(1.0, attempt - 2));
+    const double d = p.backoff_delay(42, attempt);
+    EXPECT_GT(d, raw * 0.5);  // jitter shrinks by at most jitter_fraction
+    EXPECT_LE(d, raw);
+    EXPECT_LE(d, 0.080);  // cap
+  }
+}
+
+TEST(RetryPolicy, ZeroJitterIsExactExponential) {
+  const reliability::RetryPolicy p(0.010, 1.0, 0.0, 1);
+  EXPECT_DOUBLE_EQ(p.backoff_delay(5, 2), 0.010);
+  EXPECT_DOUBLE_EQ(p.backoff_delay(5, 3), 0.020);
+  EXPECT_DOUBLE_EQ(p.backoff_delay(5, 4), 0.040);
+}
+
+// ------------------------------------------------------- config validation
+
+TEST(ReliabilityConfig, ValidateRejectsNonsense) {
+  reliability::ReliabilityConfig c;
+  c.enabled = true;
+  c.deadline_seconds = -1.0;
+  EXPECT_THROW(c.validate(), InvariantError);
+  c = {};
+  c.enabled = true;
+  c.deadline_seconds = kNan;
+  EXPECT_THROW(c.validate(), InvariantError);
+  c = {};
+  c.enabled = true;
+  c.max_attempts = 0;
+  EXPECT_THROW(c.validate(), InvariantError);
+  c = {};
+  c.enabled = true;
+  c.backoff_cap_seconds = c.backoff_base_seconds / 2.0;  // cap < base
+  EXPECT_THROW(c.validate(), InvariantError);
+  c = {};
+  c.enabled = true;
+  c.jitter_fraction = 1.5;
+  EXPECT_THROW(c.validate(), InvariantError);
+  c = {};
+  c.enabled = true;
+  c.hedge_delay_seconds = -0.1;
+  EXPECT_THROW(c.validate(), InvariantError);
+  c = {};
+  c.enabled = true;
+  c.max_queue_depth = 8;
+  c.backpressure_watermark = 0.0;  // outside (0, 1]
+  EXPECT_THROW(c.validate(), InvariantError);
+  // Disabled configs are never checked, whatever the other fields hold.
+  c = {};
+  c.deadline_seconds = kNan;
+  EXPECT_NO_THROW(c.validate());
+}
+
+// ---------------------------------------- builder hardening (satellite: 1)
+
+/// Expects `fn` to throw std::invalid_argument whose message names `field`.
+template <typename Fn>
+void expect_invalid_argument(Fn&& fn, const std::string& field) {
+  try {
+    fn();
+    FAIL() << "expected std::invalid_argument naming " << field;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+        << "message does not name the field: " << e.what();
+  }
+}
+
+TEST(ExperimentBuilder, ReliabilityRejectsBadFieldsByName) {
+  using runner::ExperimentBuilder;
+  expect_invalid_argument(
+      [] {
+        reliability::ReliabilityConfig c;
+        c.deadline_seconds = kNan;
+        ExperimentBuilder().reliability(c);
+      },
+      "reliability.deadline_seconds");
+  expect_invalid_argument(
+      [] {
+        reliability::ReliabilityConfig c;
+        c.backoff_base_seconds = -0.01;
+        ExperimentBuilder().reliability(c);
+      },
+      "reliability.backoff_base_seconds");
+  expect_invalid_argument(
+      [] {
+        reliability::ReliabilityConfig c;
+        c.jitter_fraction = 2.0;
+        ExperimentBuilder().reliability(c);
+      },
+      "reliability.jitter_fraction");
+  expect_invalid_argument(
+      [] {
+        reliability::ReliabilityConfig c;
+        c.hedge_delay_seconds = kInf;
+        ExperimentBuilder().reliability(c);
+      },
+      "reliability.hedge_delay_seconds");
+  expect_invalid_argument(
+      [] {
+        reliability::ReliabilityConfig c;
+        c.max_attempts = 0;
+        ExperimentBuilder().reliability(c);
+      },
+      "reliability.max_attempts");
+  // A clean config passes and is enabled by the call.
+  reliability::ReliabilityConfig ok;
+  ok.deadline_seconds = 0.5;
+  const auto p = runner::ExperimentBuilder().reliability(ok).build();
+  EXPECT_TRUE(p.reliability.enabled);
+  EXPECT_DOUBLE_EQ(p.reliability.deadline_seconds, 0.5);
+}
+
+TEST(ExperimentBuilder, CacheRejectsBadFieldsByName) {
+  using runner::ExperimentBuilder;
+  expect_invalid_argument(
+      [] {
+        cache::CacheConfig c;
+        c.dram_latency_seconds = kNan;
+        ExperimentBuilder().cache(c);
+      },
+      "cache.dram_latency_seconds");
+  expect_invalid_argument(
+      [] {
+        cache::CacheConfig c;
+        c.memory_watts_per_gib = -1.0;
+        ExperimentBuilder().cache(c);
+      },
+      "cache.memory_watts_per_gib");
+  expect_invalid_argument(
+      [] {
+        cache::CacheConfig c;
+        c.high_watermark = kInf;
+        ExperimentBuilder().cache(c);
+      },
+      "cache.high_watermark");
+  expect_invalid_argument(
+      [] {
+        cache::CacheConfig c;
+        c.destage_deadline_seconds = 0.0;
+        ExperimentBuilder().cache(c);
+      },
+      "cache.destage_deadline_seconds");
+  expect_invalid_argument(
+      [] {
+        cache::CacheConfig c;
+        c.block_bytes = 0;
+        ExperimentBuilder().cache(c);
+      },
+      "cache.block_bytes");
+}
+
+TEST(ExperimentBuilder, FailDiskAtRejectsBadTimesByName) {
+  using runner::ExperimentBuilder;
+  expect_invalid_argument(
+      [] { ExperimentBuilder().fail_disk_at(0, kNan); }, "fail_disk_at.time");
+  expect_invalid_argument(
+      [] { ExperimentBuilder().fail_disk_at(0, -5.0); }, "fail_disk_at.time");
+  expect_invalid_argument(
+      [] { ExperimentBuilder().fail_disk_at(0, 5.0, -1.0); },
+      "fail_disk_at.repair");
+  expect_invalid_argument(
+      [] { ExperimentBuilder().fail_disk_at(0, 5.0, kInf); },
+      "fail_disk_at.repair");
+}
+
+// -------------------------------------------------------------- end to end
+
+/// `n` same-size requests for `data` arriving `gap` seconds apart starting
+/// at `start`.
+trace::Trace burst(DataId data, int n, double start = 0.0, double gap = 0.0,
+                   bool is_read = true) {
+  std::vector<trace::TraceRecord> recs;
+  for (int i = 0; i < n; ++i) {
+    trace::TraceRecord r;
+    r.time = start + gap * i;
+    r.data = data;
+    r.size_bytes = 512 * 1024;
+    r.is_read = is_read;
+    recs.push_back(r);
+  }
+  return trace::Trace(std::move(recs));
+}
+
+storage::SystemConfig base_config() {
+  storage::SystemConfig cfg;
+  cfg.power = disk::example_power_params();
+  cfg.initial_state = disk::DiskState::Idle;
+  return cfg;
+}
+
+storage::RunResult run_static(const storage::SystemConfig& cfg,
+                              const trace::Trace& trace) {
+  core::StaticScheduler sched;
+  power::AlwaysOnPolicy policy;
+  return storage::run_online(cfg, testing::example_placement(), trace, sched,
+                             policy);
+}
+
+TEST(ReliabilityRun, DisabledTierIsByteIdenticalWhateverItsFieldsSay) {
+  const auto trace = burst(/*data=*/2, /*n=*/12);
+  const auto a = run_static(base_config(), trace);
+  storage::SystemConfig cfg = base_config();
+  cfg.reliability.deadline_seconds = 0.001;  // would retry furiously...
+  cfg.reliability.max_queue_depth = 1;       // ...and shed everything
+  cfg.reliability.enabled = false;           // but the tier is off
+  const auto b = run_static(cfg, trace);
+  EXPECT_EQ(a.to_json(true), b.to_json(true));
+  EXPECT_EQ(a.to_json(true).find("reliability"), std::string::npos);
+}
+
+TEST(ReliabilityRun, DeadlineMissesRetryToAnAlternateReplicaAndComplete) {
+  // 30 reads of b3 (disks {0,1,3}) all at t=0, StaticScheduler -> all queue
+  // on disk 0 at ~10 ms service each. A 30 ms per-attempt deadline pulls
+  // the deep entries back and retries them on another replica.
+  storage::SystemConfig cfg = base_config();
+  cfg.reliability.enabled = true;
+  cfg.reliability.deadline_seconds = 0.030;
+  cfg.reliability.max_attempts = 6;
+  cfg.reliability.backoff_base_seconds = 0.005;
+  cfg.reliability.backoff_cap_seconds = 0.020;
+  const auto r = run_static(cfg, burst(2, 30));
+  EXPECT_TRUE(r.reliability_enabled);
+  EXPECT_GT(r.reliability_stats.deadline_misses, 0u);
+  EXPECT_GT(r.reliability_stats.retries, 0u);
+  // Every request is accounted exactly once: completed or abandoned.
+  EXPECT_EQ(r.total_requests + r.reliability_stats.abandoned, 30u);
+  EXPECT_EQ(r.reliability_stats.shed, 0u);
+  // Retries spread the flood across replicas: disk 0 no longer serves all.
+  EXPECT_LT(r.disk_stats[0].requests_served, 30u);
+}
+
+TEST(ReliabilityRun, HedgedReadsWinOnABackloggedPrimaryAndCountOnce) {
+  // 20 reads of b1 (disk 0 only, unhedgeable) backlog disk 0 ~200 ms deep;
+  // 5 reads of b3 queue behind them. Their 15 ms hedges land on idle disk 1
+  // and win while the primaries crawl the backlog.
+  storage::SystemConfig cfg = base_config();
+  cfg.reliability.enabled = true;
+  cfg.reliability.hedge_delay_seconds = 0.015;
+  std::vector<trace::TraceRecord> recs;
+  for (int i = 0; i < 20; ++i) {
+    trace::TraceRecord rec;
+    rec.data = 0;
+    recs.push_back(rec);
+  }
+  for (int i = 0; i < 5; ++i) {
+    trace::TraceRecord rec;
+    rec.data = 2;
+    recs.push_back(rec);
+  }
+  const auto r = run_static(cfg, trace::Trace(std::move(recs)));
+  // Only the replicated reads can hedge, and every one of their hedges wins.
+  EXPECT_EQ(r.reliability_stats.hedges_issued, 5u);
+  EXPECT_EQ(r.reliability_stats.hedge_wins, 5u);
+  // First-completion-wins must never double count a request.
+  EXPECT_EQ(r.total_requests, 25u);
+  EXPECT_EQ(r.response_times.count(), 25u);
+  // The winner pool spans both disks.
+  EXPECT_EQ(r.disk_stats[1].requests_served, 5u);
+}
+
+TEST(ReliabilityRun, AdmissionControlShedsOldestReadsUnderOverload) {
+  storage::SystemConfig cfg = base_config();
+  cfg.reliability.enabled = true;
+  cfg.reliability.max_queue_depth = 3;
+  const auto r = run_static(cfg, burst(2, 40));
+  EXPECT_GT(r.reliability_stats.shed, 0u);
+  EXPECT_EQ(r.total_requests + r.reliability_stats.shed, 40u);
+  // Shed requests never produce a response sample.
+  EXPECT_EQ(r.response_times.count(), r.total_requests);
+}
+
+TEST(ReliabilityRun, WritesDegradeToWriteThroughInsteadOfShedding) {
+  storage::SystemConfig cfg = base_config();
+  cfg.reliability.enabled = true;
+  cfg.reliability.max_queue_depth = 3;
+  const auto r = run_static(cfg, burst(2, 40, 0.0, 0.0, /*is_read=*/false));
+  EXPECT_EQ(r.reliability_stats.shed, 0u);
+  EXPECT_GT(r.reliability_stats.writes_degraded, 0u);
+  EXPECT_EQ(r.total_requests, 40u);  // bounded queues never drop writes
+}
+
+TEST(ReliabilityRun, JsonCarriesTheTierBlockOnlyWhenEnabled) {
+  storage::SystemConfig cfg = base_config();
+  cfg.reliability.enabled = true;
+  cfg.reliability.hedge_delay_seconds = 0.015;
+  const auto r = run_static(cfg, burst(2, 10));
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"reliability\""), std::string::npos);
+  EXPECT_NE(json.find("\"hedge_wins\""), std::string::npos);
+  EXPECT_NE(json.find("\"deadline_misses\""), std::string::npos);
+  EXPECT_NE(json.find("\"shed\""), std::string::npos);
+}
+
+// --------------------------------- transient faults (satellite: coverage)
+
+/// A transient outage on disk 0 over [2, 5) with b3 reads queued when it
+/// hits and arriving throughout.
+storage::SystemConfig transient_config() {
+  storage::SystemConfig cfg = base_config();
+  fault::ScriptedFault f;
+  f.kind = fault::ScriptedFault::Kind::kTransient;
+  f.disk = 0;
+  f.time = 2.0;
+  f.duration = 3.0;
+  cfg.fault.script.push_back(f);
+  return cfg;
+}
+
+trace::Trace transient_trace() {
+  // A queue on disk 0 at the moment the outage hits (burst just before
+  // t=2), plus a steady stream across the outage and past recovery.
+  std::vector<trace::TraceRecord> recs;
+  for (int i = 0; i < 6; ++i) {
+    trace::TraceRecord r;
+    r.time = 1.98;
+    r.data = 2;
+    r.size_bytes = 512 * 1024;
+    r.is_read = true;
+    recs.push_back(r);
+  }
+  for (int i = 0; i < 30; ++i) {
+    trace::TraceRecord r;
+    r.time = 0.5 + 0.25 * i;  // spans [0.5, 7.75]
+    r.data = 2;
+    r.size_bytes = 512 * 1024;
+    r.is_read = true;
+    recs.push_back(r);
+  }
+  return trace::Trace(std::move(recs));
+}
+
+TEST(TransientFault, QueuedRequestsFailOverAndEveryRequestCountsOnce) {
+  const auto r = run_static(transient_config(), transient_trace());
+  EXPECT_TRUE(r.faults_enabled);
+  EXPECT_EQ(r.fault_stats.transient_timeouts, 1u);
+  EXPECT_EQ(r.fault_stats.disk_failures, 0u);
+  EXPECT_EQ(r.fault_stats.repairs, 1u);
+  EXPECT_GT(r.fault_stats.failovers, 0u);  // drained queue + outage routing
+  // b3 has replicas on disks 1 and 3, so nothing is unavailable and every
+  // request completes exactly once — queued-at-outage ones included.
+  EXPECT_EQ(r.fault_stats.unavailable_requests, 0u);
+  EXPECT_EQ(r.total_requests, 36u);
+  EXPECT_EQ(r.response_times.count(), 36u);
+}
+
+TEST(TransientFault, RecoveryRestoresServiceOnTheDisk) {
+  const auto r = run_static(transient_config(), transient_trace());
+  // Requests arriving after t=5 route back to the original location, so the
+  // recovered disk serves part of the stream again.
+  EXPECT_GT(r.disk_stats[0].requests_served, 0u);
+  EXPECT_GT(r.disk_stats[1].requests_served, 0u);
+}
+
+TEST(TransientFault, RepeatedRunsAreBitIdentical) {
+  const auto a = run_static(transient_config(), transient_trace());
+  const auto b = run_static(transient_config(), transient_trace());
+  EXPECT_EQ(a.to_json(true), b.to_json(true));
+}
+
+TEST(TransientFault, ReliabilityRetriesShareTheAttemptBudgetWithFailover) {
+  // Same outage with the reliability tier on: deadline retries and the
+  // failover of the drained queue draw one budget — the run must terminate
+  // with every request accounted exactly once (completed or abandoned) and
+  // never double-dispatched (total served >= completed is the only slack,
+  // from in-service copies that a deadline could not pull back).
+  storage::SystemConfig cfg = transient_config();
+  cfg.reliability.enabled = true;
+  cfg.reliability.deadline_seconds = 0.050;
+  cfg.reliability.max_attempts = 3;
+  cfg.reliability.backoff_base_seconds = 0.005;
+  cfg.reliability.backoff_cap_seconds = 0.020;
+  const auto r = run_static(cfg, transient_trace());
+  EXPECT_TRUE(r.reliability_enabled);
+  EXPECT_EQ(r.total_requests + r.reliability_stats.abandoned +
+                r.fault_stats.unavailable_requests,
+            36u);
+  EXPECT_EQ(r.response_times.count(), r.total_requests);
+  const auto again = run_static(cfg, transient_trace());
+  EXPECT_EQ(r.to_json(true), again.to_json(true));
+}
+
+TEST(ReliabilityRun, SurvivesAFixedThresholdPolicyWithHedging) {
+  // Hedge pins must hold the planned alternate spinning (and re-kick the
+  // policy when released) — the run completes without stranding a disk.
+  storage::SystemConfig cfg = base_config();
+  cfg.initial_state = disk::DiskState::Standby;
+  cfg.reliability.enabled = true;
+  cfg.reliability.hedge_delay_seconds = 0.015;
+  core::StaticScheduler sched;
+  power::FixedThresholdPolicy policy;
+  const auto r = storage::run_online(cfg, testing::example_placement(),
+                                     burst(2, 20, 0.0, 0.5), sched, policy);
+  EXPECT_EQ(r.total_requests, 20u);
+  EXPECT_LE(r.reliability_stats.hedge_wins,
+            r.reliability_stats.hedges_issued);
+}
+
+// ------------------------------------------------- scheduler backpressure
+
+/// Scripted SystemView with per-disk snapshots and backpressure flags.
+class ScriptedView final : public core::SystemView {
+ public:
+  explicit ScriptedView(placement::PlacementMap placement)
+      : placement_(std::move(placement)),
+        snapshots_(placement_.num_disks()),
+        pressured_(placement_.num_disks(), false) {}
+
+  double now() const override { return now_; }
+  const placement::PlacementMap& placement() const override {
+    return placement_;
+  }
+  core::DiskSnapshot snapshot(DiskId k) const override {
+    return snapshots_.at(k);
+  }
+  const disk::DiskPowerParams& power_params() const override { return power_; }
+  bool backpressured(DiskId k) const override { return pressured_.at(k); }
+
+  void set_now(double t) { now_ = t; }
+  core::DiskSnapshot& at(DiskId k) { return snapshots_.at(k); }
+  void set_backpressured(DiskId k, bool on) { pressured_.at(k) = on; }
+
+ private:
+  placement::PlacementMap placement_;
+  std::vector<core::DiskSnapshot> snapshots_;
+  std::vector<bool> pressured_;
+  double now_ = 0.0;
+  disk::DiskPowerParams power_ = testing::example_power();
+};
+
+TEST(Backpressure, CostSchedulerRoutesAroundABackpressuredDisk) {
+  // b2 (data 1) lives on disks {0, 1}. Disk 0 is the cheaper idle window;
+  // marking it backpressured multiplies its cost past disk 1's.
+  ScriptedView view(testing::example_placement());
+  view.set_now(50.0);
+  view.at(0).state = disk::DiskState::Idle;
+  view.at(0).state_since = 0.0;
+  view.at(0).last_request_time = 40.0;  // 10 J idle extension
+  view.at(1).state = disk::DiskState::Idle;
+  view.at(1).state_since = 0.0;
+  view.at(1).last_request_time = 20.0;  // 30 J idle extension
+  disk::Request r;
+  r.id = 1;
+  r.data = 1;
+  core::CostFunctionScheduler sched(core::CostParams{1.0, 100.0});
+  EXPECT_EQ(sched.pick(r, view), 0u);
+  view.set_backpressured(0, true);  // 10 J * 4 > 30 J
+  EXPECT_EQ(sched.pick(r, view), 1u);
+  view.set_backpressured(0, false);
+  EXPECT_EQ(sched.pick(r, view), 0u);
+}
+
+TEST(Backpressure, PredictiveSchedulerAppliesTheSamePenalty) {
+  ScriptedView view(testing::example_placement());
+  view.set_now(50.0);
+  view.at(0).state = disk::DiskState::Idle;
+  view.at(0).state_since = 0.0;
+  view.at(0).last_request_time = 40.0;
+  view.at(1).state = disk::DiskState::Idle;
+  view.at(1).state_since = 0.0;
+  view.at(1).last_request_time = 20.0;
+  disk::Request r;
+  r.id = 1;
+  r.data = 1;
+  core::PredictiveParams params;
+  params.cost = core::CostParams{1.0, 100.0};
+  params.gamma = 0.0;  // isolate the backpressure term
+  core::PredictiveCostScheduler sched(params);
+  EXPECT_EQ(sched.pick(r, view), 0u);
+  view.set_backpressured(0, true);
+  EXPECT_EQ(sched.pick(r, view), 1u);
+}
+
+// -------------------------------------------- sweeps: emission + threads
+
+runner::ExperimentParams reliability_sweep_params() {
+  reliability::ReliabilityConfig rel;
+  rel.deadline_seconds = 0.25;
+  rel.max_attempts = 3;
+  rel.hedge_delay_seconds = 0.05;
+  rel.max_queue_depth = 64;
+  fault::FaultProfile fp;
+  fault::ScriptedFault f;
+  f.kind = fault::ScriptedFault::Kind::kTransient;
+  f.disk = 0;
+  f.time = 5.0;
+  f.duration = 10.0;
+  fp.script.push_back(f);
+  return runner::ExperimentBuilder(runner::Workload::kCello)
+      .requests(1500)
+      .reliability(rel)
+      .fault(fp)
+      .build();
+}
+
+TEST(ReliabilitySweep, ColumnsAppearOnlyWhenSomeCellEnablesTheTier) {
+  const auto base = runner::ExperimentBuilder(runner::Workload::kCello)
+                        .requests(800)
+                        .build();
+  const auto grid = runner::product_grid(
+      base, {"static"}, {"off", "on"},
+      [](const runner::ExperimentParams& b, const std::string& tag) {
+        if (tag == "off") return b;
+        reliability::ReliabilityConfig rel;
+        rel.deadline_seconds = 0.25;
+        return runner::ExperimentBuilder(b).reliability(rel).build();
+      });
+  runner::SweepOptions opts;
+  opts.threads = 1;
+  const auto results = runner::SweepRunner(opts).run(grid);
+  std::ostringstream mixed;
+  runner::emit_cells(mixed, results, runner::EmitFormat::kCsv);
+  EXPECT_NE(mixed.str().find("deadline_miss"), std::string::npos);
+  EXPECT_NE(mixed.str().find("hedge_wins"), std::string::npos);
+  // A tier-free sweep keeps the historical schema byte for byte.
+  std::vector<runner::CellResult> off_only = {results[0]};
+  off_only[0].index = 0;
+  std::ostringstream off;
+  runner::emit_cells(off, off_only, runner::EmitFormat::kCsv);
+  EXPECT_EQ(off.str().find("deadline_miss"), std::string::npos);
+}
+
+TEST(ReliabilitySweep, BitIdenticalAcrossThreadCounts) {
+  const auto params = reliability_sweep_params();
+  const auto grid = [&] {
+    return runner::product_grid(
+        params, {"static", "heuristic"}, {"x"},
+        [](const runner::ExperimentParams& b, const std::string&) {
+          return b;
+        });
+  };
+  std::string reference;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    runner::SweepOptions opts;
+    opts.threads = threads;
+    auto results = runner::SweepRunner(opts).run(grid());
+    for (auto& c : results) {  // run metadata is not part of the identity
+      c.wall_seconds = 0.0;
+      c.peak_rss_kib = 0;
+    }
+    std::ostringstream os;
+    runner::emit_cells(os, results, runner::EmitFormat::kJson);
+    if (reference.empty()) {
+      reference = os.str();
+      EXPECT_NE(reference.find("\"reliability\""), std::string::npos);
+    } else {
+      EXPECT_EQ(os.str(), reference) << "threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eas

@@ -24,7 +24,7 @@ build="${1:-$root/build}"
 out="${2:-$root/BENCH_micro.json}"
 
 benches=(bench_micro_kernel bench_micro_algorithms bench_micro_schedulers
-  bench_micro_cache)
+  bench_micro_cache bench_micro_reliability)
 for b in "${benches[@]}"; do
   if [[ ! -x "$build/bench/$b" ]]; then
     echo "bench_record: $build/bench/$b not built (cmake --build $build --target $b)" >&2

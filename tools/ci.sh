@@ -114,6 +114,19 @@ stage_cache() {
   EAS_REQUESTS=3000 ./build/bench/bench_ablation_cache_tier > /dev/null
 }
 
+# Reliability tier under sanitizers: deadlines/retries/hedges/shedding churn
+# timers and queue surgery harder than any other surface, so its label runs
+# in the ASan+UBSan build (timer use-after-cancel or a leaked in-flight
+# entry shows up here first), plus the overload ablation end to end.
+stage_chaos() {
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs"
+  ctest --preset chaos-smoke -j "$jobs"
+  cmake --preset default
+  cmake --build --preset default -j "$jobs" --target bench_ablation_reliability
+  EAS_REQUESTS=3000 ./build/bench/bench_ablation_reliability > /dev/null
+}
+
 stage_lint() {
   if ! command -v clang-tidy > /dev/null 2>&1; then
     if [[ "${EAS_CI:-0}" == "1" ]]; then
@@ -143,6 +156,7 @@ run_stage default stage_default
 run_stage fault stage_fault
 run_stage obs stage_obs
 run_stage cache stage_cache
+run_stage chaos stage_chaos
 run_stage audit stage_audit
 run_stage asan stage_asan
 run_stage tsan stage_tsan

@@ -21,7 +21,8 @@ const std::set<std::string> kUnorderedTypes = {
 
 /// Modules whose iteration order feeds scheduling/power/placement decisions.
 const std::set<std::string> kDecisionModules = {
-    "core", "power", "graph", "placement", "runner", "fault", "cache"};
+    "core",  "power", "graph", "placement",
+    "runner", "fault", "cache", "reliability"};
 
 /// stdlib RNG engines banned in src/fault/ (variates must come from the
 /// seeded util::Rng streams keyed off FaultProfile::seed).
